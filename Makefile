@@ -1,0 +1,32 @@
+# Convenience targets for the Jade reproduction.
+
+.PHONY: install test bench bench-quick figures examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+bench-quick:
+	REPRO_BENCH_SCALE=0.35 pytest benchmarks/ --benchmark-only -s
+
+# Regenerate every paper figure/table series into benchmarks/results/
+figures: bench
+
+examples:
+	python examples/quickstart.py
+	python examples/reconfiguration.py
+	python examples/adl_deployment.py
+	python examples/self_recovery.py
+	python examples/latency_slo.py
+	python examples/three_tier.py
+	python examples/trace_replay.py
+	python examples/self_sizing.py --quick
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

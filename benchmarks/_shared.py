@@ -1,0 +1,102 @@
+"""Shared machinery for the benchmark harness.
+
+The paper's Figures 5–9 come from two runs of the same 3000 s workload ramp
+(80 → 500 → 80 clients, +21/min): one managed by Jade, one static.  Those
+runs are expensive, so they are computed once per pytest session and shared
+by every figure benchmark; Table 1 uses two cheaper constant-load runs.
+
+Every benchmark prints the series/rows it reproduces and appends them to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be assembled from
+the artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.jade.system import ExperimentConfig, ManagedSystem
+from repro.workload.profiles import ConstantProfile, RampProfile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: paper reference points (used in the printed paper-vs-measured tables)
+PAPER = {
+    "table1": {
+        "throughput_rps": (12.0, 12.0),       # (with Jade, without)
+        "resp_time_ms": (89.0, 87.0),
+        "cpu_pct": (12.74, 12.42),
+        "mem_pct": (20.1, 17.5),
+    },
+    "fig5_db_growth_clients": (180, 320),
+    "fig5_app_growth_clients": (420,),
+    "fig8_static_latency_avg_s": 10.42,
+    "fig9_managed_latency_avg_ms": 590.0,
+}
+
+_cache: dict[str, ManagedSystem] = {}
+
+
+def _seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def ramp_profile() -> RampProfile:
+    """The paper's §5.2 ramp (optionally compressed via REPRO_BENCH_SCALE,
+    e.g. 0.5 halves every duration while keeping the same client counts)."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return RampProfile(
+        warmup_s=300.0 * scale,
+        step_period_s=60.0 * scale,
+        cooldown_s=300.0 * scale,
+    )
+
+
+def managed_ramp() -> ManagedSystem:
+    """The Jade-managed ramp run (Figures 5, 6, 7, 9)."""
+    if "managed" not in _cache:
+        system = ManagedSystem(
+            ExperimentConfig(profile=ramp_profile(), seed=_seed(), managed=True)
+        )
+        system.run()
+        _cache["managed"] = system
+    return _cache["managed"]
+
+
+def static_ramp() -> ManagedSystem:
+    """The unmanaged ramp run (Figures 6, 7, 8 baselines)."""
+    if "static" not in _cache:
+        system = ManagedSystem(
+            ExperimentConfig(profile=ramp_profile(), seed=_seed(), managed=False)
+        )
+        system.run()
+        _cache["static"] = system
+    return _cache["static"]
+
+
+def constant80(managed: bool) -> ManagedSystem:
+    """300 s at 80 clients (Table 1's medium workload)."""
+    key = f"const80-{managed}"
+    if key not in _cache:
+        system = ManagedSystem(
+            ExperimentConfig(
+                profile=ConstantProfile(80, 300.0), seed=_seed(), managed=managed
+            )
+        )
+        system.run()
+        _cache[key] = system
+    return _cache[key]
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def format_series(pairs, header: str, fmt: str = "{:10.1f}  {:10.3f}") -> str:
+    lines = [header]
+    lines += [fmt.format(t, v) for t, v in pairs]
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Ablation A6 — hardware-speed sensitivity.
+
+§4.2: the thresholds "have been determined manually with some benchmarks
+... the determination of these parameters constitutes a key challenge of
+this manager".  One reason is that CPU thresholds encode the *hardware*:
+on machines twice as fast, the same workload crosses the same threshold at
+roughly twice the client count (or never).  This sweep quantifies that by
+scaling every node's CPU speed and recording where the first DB scale-out
+lands.
+"""
+
+from repro.jade.system import ExperimentConfig, ManagedSystem
+from repro.workload.profiles import RampProfile
+
+from benchmarks._shared import emit
+
+SCALE = 0.35
+
+
+def run_with_speed(speed: float) -> dict:
+    profile = RampProfile(
+        warmup_s=300.0 * SCALE, step_period_s=60.0 * SCALE, cooldown_s=300.0 * SCALE
+    )
+    cfg = ExperimentConfig(profile=profile, seed=3, node_speed=speed)
+    system = ManagedSystem(cfg)
+    col = system.run()
+    first_grow = next(
+        (
+            int(col.workload.value_at(t))
+            for t, d in col.reconfigurations
+            if "grow: allocating" in d
+        ),
+        None,
+    )
+    return {
+        "speed": speed,
+        "first_grow_clients": first_grow,
+        "db_peak": int(col.tier_replicas["database"].max()),
+        "app_peak": int(col.tier_replicas["application"].max()),
+        "latency_ms": col.latency_summary()["mean"] * 1e3,
+    }
+
+
+def bench_ablation_hardware_speed(benchmark):
+    speeds = (0.75, 1.0, 2.0)
+
+    def sweep():
+        return [run_with_speed(s) for s in speeds]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "Ablation A6: node CPU speed vs scaling points (compressed ramp)",
+        "",
+        f"{'speed':>6}  {'1st grow @clients':>18}  {'peaks app/db':>13}  "
+        f"{'mean lat (ms)':>14}",
+    ]
+    for r in results:
+        first = r["first_grow_clients"] if r["first_grow_clients"] else "never"
+        lines.append(
+            f"{r['speed']:>6.2f}  {str(first):>18}  "
+            f"{f'{r_app(r)}/{r_db(r)}':>13}  {r['latency_ms']:>14.1f}"
+        )
+    emit("ablation_hardware", "\n".join(lines))
+
+    by_speed = {r["speed"]: r for r in results}
+    # Slower hardware triggers earlier (fewer clients) and provisions more.
+    slow, base, fast = by_speed[0.75], by_speed[1.0], by_speed[2.0]
+    assert slow["first_grow_clients"] <= base["first_grow_clients"]
+    # 2x hardware absorbs the peak with fewer replicas than the baseline.
+    assert fast["db_peak"] + fast["app_peak"] <= base["db_peak"] + base["app_peak"]
+
+
+def r_app(r):
+    return r["app_peak"]
+
+
+def r_db(r):
+    return r["db_peak"]

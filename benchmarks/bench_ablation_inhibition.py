@@ -1,0 +1,64 @@
+"""Ablation A3 — inhibition window vs oscillation.
+
+§5.2: "in order to prevent oscillations, a reconfiguration started by one
+of the control loops inhibits any new reconfiguration for a short period
+(one minute)".  This sweep removes / varies that window and counts
+grow-shrink direction flips per tier — the oscillation the mechanism
+exists to prevent.
+"""
+
+from repro.jade.self_optimization import LoopConfig
+from repro.jade.system import ExperimentConfig, ManagedSystem
+from repro.workload.profiles import PiecewiseProfile
+
+from benchmarks._shared import emit
+
+
+def run_with_inhibition(inhibition_s: float) -> dict:
+    # A load level chosen to sit near the DB threshold: noise-prone.
+    profile = PiecewiseProfile([(0.0, 210)], duration_s=900.0)
+    cfg = ExperimentConfig(
+        profile=profile,
+        seed=5,
+        inhibition_s=inhibition_s,
+        # Narrow dead band + short windows: deliberately twitchy, so the
+        # inhibition window is what stands between us and oscillation.
+        db_loop=LoopConfig(window_s=20.0, max_threshold=0.70, min_threshold=0.55),
+        app_loop=LoopConfig(window_s=20.0, max_threshold=0.80, min_threshold=0.38),
+    )
+    system = ManagedSystem(cfg)
+    col = system.run()
+    # Count direction flips in the database replica series.
+    changes = col.replica_changes("database")
+    flips = 0
+    for (_, a), (_, b), (_, c) in zip(changes, changes[1:], changes[2:]):
+        if (b - a) * (c - b) < 0:
+            flips += 1
+    return {
+        "inhibition": inhibition_s,
+        "reconfigs": len(changes) - 1,
+        "flips": flips,
+    }
+
+
+def bench_ablation_inhibition_window(benchmark):
+    windows = (0.0, 60.0, 240.0)
+
+    def sweep():
+        return [run_with_inhibition(w) for w in windows]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "Ablation A3: inhibition window vs oscillation (210 clients, narrow band)",
+        "",
+        f"{'inhibition (s)':>14}  {'reconfigs':>10}  {'direction flips':>16}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r['inhibition']:>14.0f}  {r['reconfigs']:>10}  {r['flips']:>16}"
+        )
+    emit("ablation_inhibition", "\n".join(lines))
+
+    by_w = {r["inhibition"]: r for r in results}
+    # More inhibition, no more reconfigurations than without.
+    assert by_w[240.0]["reconfigs"] <= by_w[0.0]["reconfigs"]

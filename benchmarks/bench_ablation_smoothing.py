@@ -1,0 +1,74 @@
+"""Ablation A2 — moving-average window sweep.
+
+§5.2: "the CPU usage is smoothed by a temporal average ... the strength of
+this average is experimentally fixed accordingly to the variability of the
+CPU usage".  This sweep shows the trade-off the authors tuned: short
+windows react fast but fire on noise (more reconfigurations); long windows
+are stable but laggy (later provisioning, worse latency transients).
+"""
+
+from repro.jade.self_optimization import LoopConfig
+from repro.jade.system import ExperimentConfig, ManagedSystem
+from repro.workload.profiles import PiecewiseProfile
+
+from benchmarks._shared import emit
+
+
+def run_with_window(window_s: float) -> dict:
+    # A step load: 80 -> 350 clients, held, then back.
+    profile = PiecewiseProfile(
+        [(0.0, 80), (120.0, 350), (800.0, 80)], duration_s=1200.0
+    )
+    cfg = ExperimentConfig(
+        profile=profile,
+        seed=4,
+        db_loop=LoopConfig(window_s=window_s, max_threshold=0.75, min_threshold=0.40),
+        app_loop=LoopConfig(window_s=window_s, max_threshold=0.80, min_threshold=0.38),
+    )
+    system = ManagedSystem(cfg)
+    col = system.run()
+    reconfigs = (
+        system.db_tier.grows_completed
+        + system.db_tier.shrinks_completed
+        + system.app_tier.grows_completed
+        + system.app_tier.shrinks_completed
+    )
+    transient = col.latencies.window(120.0, 400.0)
+    first_grow = next(
+        (t for t, d in col.reconfigurations if "grow: allocating" in d), None
+    )
+    return {
+        "window": window_s,
+        "reconfigs": reconfigs,
+        "reaction_s": (first_grow - 120.0) if first_grow else float("nan"),
+        "transient_p95_ms": 1e3 * float(
+            __import__("numpy").percentile(transient.values, 95)
+        )
+        if len(transient)
+        else float("nan"),
+    }
+
+
+def bench_ablation_smoothing_window(benchmark):
+    windows = (15.0, 90.0, 300.0)
+
+    def sweep():
+        return [run_with_window(w) for w in windows]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "Ablation A2: moving-average window sweep (step 80->350->80 clients)",
+        "",
+        f"{'window (s)':>10}  {'reconfigs':>10}  {'reaction (s)':>13}  "
+        f"{'transient p95 (ms)':>19}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r['window']:>10.0f}  {r['reconfigs']:>10}  {r['reaction_s']:>13.0f}"
+            f"  {r['transient_p95_ms']:>19.1f}"
+        )
+    emit("ablation_smoothing", "\n".join(lines))
+
+    by_w = {r["window"]: r for r in results}
+    # A longer window reacts later to the step.
+    assert by_w[15.0]["reaction_s"] <= by_w[300.0]["reaction_s"]

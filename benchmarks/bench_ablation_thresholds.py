@@ -1,0 +1,79 @@
+"""Ablation A1 — threshold sensitivity.
+
+The paper notes that determining the thresholds "constitutes a key
+challenge of this manager" (§4.2, determined experimentally).  This sweep
+shows why: a max-threshold close to the min-threshold (0.60 vs min 0.40)
+leaves a dead band too narrow for the post-reconfiguration utilization to
+land in — the tier oscillates (grow/shrink churn) and every churn costs a
+latency transient; a high threshold (0.90) provisions late and cheap; the
+paper-style middle value is where both problems vanish.  Run on a
+compressed ramp to keep the sweep affordable.
+"""
+
+from dataclasses import replace
+
+from repro.jade.self_optimization import LoopConfig
+from repro.jade.system import ExperimentConfig, ManagedSystem
+from repro.workload.profiles import RampProfile
+
+from benchmarks._shared import emit
+
+SCALE = 0.35  # compress the ramp durations; client counts unchanged
+
+
+def run_with_max_threshold(max_db: float) -> dict:
+    profile = RampProfile(
+        warmup_s=300.0 * SCALE, step_period_s=60.0 * SCALE, cooldown_s=300.0 * SCALE
+    )
+    cfg = ExperimentConfig(
+        profile=profile,
+        seed=3,
+        db_loop=LoopConfig(window_s=90.0 * SCALE, max_threshold=max_db,
+                           min_threshold=0.40),
+        app_loop=LoopConfig(window_s=60.0 * SCALE, max_threshold=0.80,
+                            min_threshold=0.38),
+        inhibition_s=60.0 * SCALE,
+    )
+    system = ManagedSystem(cfg)
+    col = system.run()
+    horizon = profile.duration_s
+    db_nodes = col.tier_replicas["database"].time_weighted_mean(horizon)
+    return {
+        "max_db": max_db,
+        "latency_ms": col.latency_summary()["mean"] * 1e3,
+        "p95_ms": col.latency_summary()["p95"] * 1e3,
+        "db_node_seconds": db_nodes * horizon,
+        "grows": system.db_tier.grows_completed,
+        "shrinks": system.db_tier.shrinks_completed,
+    }
+
+
+def bench_ablation_threshold_sweep(benchmark):
+    thresholds = (0.60, 0.75, 0.90)
+
+    def sweep():
+        return [run_with_max_threshold(t) for t in thresholds]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "Ablation A1: DB max-threshold sweep (compressed ramp)",
+        "",
+        f"{'max':>5}  {'mean lat (ms)':>14}  {'p95 (ms)':>10}  "
+        f"{'db node-s':>10}  {'grows':>6}  {'shrinks':>8}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r['max_db']:>5.2f}  {r['latency_ms']:>14.1f}  {r['p95_ms']:>10.1f}"
+            f"  {r['db_node_seconds']:>10.0f}  {r['grows']:>6}  {r['shrinks']:>8}"
+        )
+    emit("ablation_thresholds", "\n".join(lines))
+
+    by_max = {r["max_db"]: r for r in results}
+    # A permissive threshold must not provision more than an aggressive one.
+    assert by_max[0.60]["db_node_seconds"] >= by_max[0.90]["db_node_seconds"]
+    # The too-narrow dead band churns at least as much as the tuned one.
+    assert by_max[0.60]["shrinks"] >= by_max[0.75]["shrinks"]
+    # The paper-style threshold is the sweet spot on mean latency.
+    assert by_max[0.75]["latency_ms"] <= min(
+        by_max[0.60]["latency_ms"], by_max[0.90]["latency_ms"]
+    )

@@ -1,0 +1,109 @@
+"""Extension — policy arbitration (§7 future work).
+
+"Furthermore we intend to work on the problem of conflicting autonomic
+policies.  Managers have their own goal and control loops and therefore
+require a way to arbitrate potential conflicts."
+
+Scenario engineered to produce the conflict: the DB tier legitimately runs
+with 2 replicas at 200 clients; the load then drops to 150 *just as one
+replica's node crashes*.  Self-recovery repairs the replica (allocate,
+reinstall, recovery-log sync) — and the moment it is back, the optimizer's
+CPU reading at the lower load says "shrink".  Unmediated, the system pays
+for a full repair and immediately throws the repaired node away
+(repair-then-shrink churn).  The arbitration manager's post-repair cooldown
+denies shrinks on a freshly-repaired tier, spacing the decisions out.
+"""
+
+from repro.jade.system import ExperimentConfig, ManagedSystem
+from repro.jade.self_optimization import LoopConfig
+from repro.workload.profiles import PiecewiseProfile
+
+from benchmarks._shared import emit
+
+
+def run_conflict(arbitrated: bool) -> dict:
+    profile = PiecewiseProfile([(0.0, 200), (400.0, 150)], duration_s=1300.0)
+    cfg = ExperimentConfig(
+        profile=profile,
+        seed=9,
+        managed=True,
+        recovery=True,
+        arbitration=arbitrated,
+        db_loop=LoopConfig(window_s=90.0, max_threshold=0.75, min_threshold=0.42),
+        tail_s=30.0,
+    )
+    system = ManagedSystem(cfg)
+    kernel = system.kernel
+
+    # Crash one DB replica right as the load drops.
+    def crash_second_replica():
+        if system.db_tier.replica_count >= 2 and not system.db_tier.busy:
+            system.db_tier.replicas[-1].node.crash()
+            task.cancel()
+
+    task = kernel.every(5.0, crash_second_replica, start=405.0)
+    col = system.run()
+
+    repair_done = next(
+        (
+            t
+            for t, d in col.reconfigurations
+            if t > 405.0 and "grow:" in d and "active" in d
+        ),
+        None,
+    )
+    first_shrink_after = next(
+        (
+            t
+            for t, d in col.reconfigurations
+            if repair_done is not None and t > repair_done and "retiring" in d
+        ),
+        None,
+    )
+    denied = (
+        sum(1 for _, kind, tier, _ in system.arbitration.denied if kind == "shrink")
+        if system.arbitration is not None
+        else 0
+    )
+    return {
+        "arbitrated": arbitrated,
+        "repairs": system.db_tier.repairs_completed,
+        "shrink_delay_s": (
+            (first_shrink_after - repair_done)
+            if (repair_done and first_shrink_after)
+            else float("inf")
+        ),
+        "denied_shrinks": denied,
+        "failed_requests": col.failed_requests,
+    }
+
+
+def bench_ext_arbitration(benchmark):
+    def both():
+        return [run_conflict(False), run_conflict(True)]
+
+    plain, arbitrated = benchmark.pedantic(both, rounds=1, iterations=1)
+    lines = [
+        "Extension: repair-then-shrink conflict (crash + load drop at t=400 s)",
+        "",
+        f"{'mode':<14}{'repairs':>8}{'shrink after repair (s)':>25}"
+        f"{'denied shrinks':>15}{'failed reqs':>12}",
+    ]
+    for r in (plain, arbitrated):
+        label = "arbitrated" if r["arbitrated"] else "unmediated"
+        delay = (
+            f"{r['shrink_delay_s']:.0f}"
+            if r["shrink_delay_s"] != float("inf")
+            else "never"
+        )
+        lines.append(
+            f"{label:<14}{r['repairs']:>8}{delay:>25}"
+            f"{r['denied_shrinks']:>15}{r['failed_requests']:>12}"
+        )
+    emit("ext_arbitration", "\n".join(lines))
+
+    assert plain["repairs"] >= 1 and arbitrated["repairs"] >= 1
+    # The arbitration manager mediated: it denied at least one shrink and
+    # thereby delayed the post-repair downsize.
+    assert arbitrated["denied_shrinks"] >= 1
+    assert arbitrated["shrink_delay_s"] >= plain["shrink_delay_s"]

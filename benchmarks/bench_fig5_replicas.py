@@ -1,0 +1,53 @@
+"""Figure 5 — "Dynamically adjusted number of replicas".
+
+Reproduces the replica-count staircase of both tiers over the 80→500→80
+ramp.  The paper's events: DB 1→2 near 180 clients, DB 2→3 near 320, app
+1→2 near 420 on the ascent; app 2→1 near 400 and DB 3→2 near 280 on the
+descent.  We report each replica-count change with the client population at
+the *decision* time (allocation start) and at completion.
+"""
+
+from benchmarks._shared import PAPER, emit, managed_ramp
+
+
+def bench_fig5_replica_staircase(benchmark):
+    system = benchmark.pedantic(managed_ramp, rounds=1, iterations=1)
+    col = system.collector
+    lines = [
+        "Figure 5: replica counts under the 80->500->80 ramp (+21 clients/min)",
+        "",
+        f"{'tier':<12}{'change':<10}{'t (s)':>8}{'clients@completion':>20}",
+    ]
+    for tier in ("database", "application"):
+        changes = col.replica_changes(tier)
+        for (t0, v0), (t1, v1) in zip(changes, changes[1:]):
+            direction = "grow" if v1 > v0 else "shrink"
+            lines.append(
+                f"{tier:<12}{f'{int(v0)}->{int(v1)}':<10}{t1:>8.0f}"
+                f"{int(col.workload.value_at(t1)):>20}"
+            )
+            assert direction in ("grow", "shrink")
+    lines.append("")
+    lines.append("decision times (allocation start -> clients at decision):")
+    for t, desc in col.reconfigurations:
+        if "allocating" in desc or "retiring" in desc:
+            lines.append(
+                f"  t={t:7.1f}  clients={int(col.workload.value_at(t)):4d}  {desc}"
+            )
+    lines.append("")
+    lines.append(
+        "paper: DB grows near clients=%s; app grows near clients=%s"
+        % (PAPER["fig5_db_growth_clients"], PAPER["fig5_app_growth_clients"])
+    )
+    lines.append(
+        f"measured peaks: app x{int(col.tier_replicas['application'].max())}, "
+        f"db x{int(col.tier_replicas['database'].max())} "
+        "(paper: app x2, db x3)"
+    )
+    emit("fig5_replicas", "\n".join(lines))
+    # Shape assertions: same event structure as the paper.
+    assert col.tier_replicas["database"].max() == 3
+    assert col.tier_replicas["application"].max() == 2
+    assert system.db_tier.grows_completed >= 2
+    assert system.db_tier.shrinks_completed >= 1
+    assert system.app_tier.shrinks_completed >= 1

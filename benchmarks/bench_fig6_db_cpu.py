@@ -1,0 +1,44 @@
+"""Figure 6 — "Behavior of the database tier".
+
+Smoothed DB-tier CPU (90 s moving average) with the min/max thresholds and
+the backend count, managed vs static.  The paper's shape: with Jade the CPU
+is pulled back under the max threshold at each scale-out; without Jade it
+saturates at 1.0 during the peak (thrashing) and recovers only when the
+load falls.
+"""
+
+from benchmarks._shared import emit, format_series, managed_ramp, static_ramp
+
+
+def bench_fig6_database_cpu(benchmark):
+    managed = managed_ramp()
+    static = benchmark.pedantic(static_ramp, rounds=1, iterations=1)
+    m_cpu = managed.collector.tier_cpu["database"].bucket_mean(60.0)
+    s_cpu = static.collector.tier_cpu["database"].bucket_mean(60.0)
+    backends = managed.collector.tier_replicas["database"]
+    cfg = managed.config
+
+    lines = [
+        "Figure 6: database tier CPU (90 s moving average), 60 s buckets",
+        f"thresholds: min={cfg.db_loop.min_threshold} max={cfg.db_loop.max_threshold}",
+        "",
+        f"{'t (s)':>8}  {'managed':>8}  {'static':>8}  {'#backends':>10}",
+    ]
+    s_by_t = dict(zip(s_cpu.times, s_cpu.values))
+    for t, v in zip(m_cpu.times, m_cpu.values):
+        sv = s_by_t.get(t, float("nan"))
+        lines.append(
+            f"{t:8.0f}  {v:8.3f}  {sv:8.3f}  {int(backends.value_at(t)):>10}"
+        )
+    emit("fig6_db_cpu", "\n".join(lines))
+
+    # Shape assertions.
+    # 1. The static run saturates at the peak; the managed one does not.
+    peak = (1400.0, 1700.0)
+    static_peak = static.collector.tier_cpu["database"].window(*peak).mean()
+    managed_peak = managed.collector.tier_cpu["database"].window(*peak).mean()
+    assert static_peak > 0.95
+    assert managed_peak < 0.95
+    # 2. With Jade the moving average stays below max+0.1 after each
+    #    reconfiguration settles (sampled over the ramp).
+    assert managed_peak < cfg.db_loop.max_threshold + 0.15

@@ -1,0 +1,44 @@
+"""Figure 7 — "Behavior of the application tier".
+
+Same presentation as Figure 6 for the Tomcat tier.  The paper's subtlety:
+in the *static* run the application CPU stays moderate even at peak load,
+because the saturated database upstream throttles it ("the application
+servers spend most of the time waiting for the database").
+"""
+
+from benchmarks._shared import emit, managed_ramp, static_ramp
+
+
+def bench_fig7_application_cpu(benchmark):
+    managed = managed_ramp()
+    static = static_ramp()
+
+    def analysis():
+        m = managed.collector.tier_cpu["application"].bucket_mean(60.0)
+        s = static.collector.tier_cpu["application"].bucket_mean(60.0)
+        return m, s
+
+    m_cpu, s_cpu = benchmark(analysis)
+    servers = managed.collector.tier_replicas["application"]
+    cfg = managed.config
+    lines = [
+        "Figure 7: application tier CPU (60 s moving average), 60 s buckets",
+        f"thresholds: min={cfg.app_loop.min_threshold} max={cfg.app_loop.max_threshold}",
+        "",
+        f"{'t (s)':>8}  {'managed':>8}  {'static':>8}  {'#servers':>9}",
+    ]
+    s_by_t = dict(zip(s_cpu.times, s_cpu.values))
+    for t, v in zip(m_cpu.times, m_cpu.values):
+        sv = s_by_t.get(t, float("nan"))
+        lines.append(f"{t:8.0f}  {v:8.3f}  {sv:8.3f}  {int(servers.value_at(t)):>9}")
+    emit("fig7_app_cpu", "\n".join(lines))
+
+    # Shape assertions.
+    peak = (1400.0, 1700.0)
+    static_peak = static.collector.tier_cpu["application"].window(*peak).mean()
+    managed_peak = managed.collector.tier_cpu["application"].window(*peak).mean()
+    # The static app tier is NOT saturated: the DB bottleneck throttles it.
+    assert static_peak < 0.7
+    # The managed app tier was scaled to keep CPU under the max threshold.
+    assert managed_peak < cfg.app_loop.max_threshold + 0.1
+    assert servers.max() == 2

@@ -1,0 +1,41 @@
+"""Figure 8 — "Response time without Jade".
+
+Per-request latency of the static (1 Tomcat + 1 MySQL) deployment under the
+ramp.  Paper shape: latency grows continuously as the workload increases —
+average 10.42 s, excursions of hundreds of seconds (database thrashing) —
+and falls back only when the load does.
+"""
+
+from benchmarks._shared import PAPER, emit, static_ramp
+
+
+def bench_fig8_latency_without_jade(benchmark):
+    system = benchmark.pedantic(static_ramp, rounds=1, iterations=1)
+    col = system.collector
+    buckets = col.latency_buckets(60.0)
+    lines = [
+        "Figure 8: response time WITHOUT Jade, 60 s buckets",
+        "",
+        f"{'t (s)':>8}  {'latency (ms)':>14}  {'clients':>8}",
+    ]
+    for t, v in zip(buckets.times, buckets.values):
+        lines.append(
+            f"{t:8.0f}  {v * 1e3:14.1f}  {int(col.workload.value_at(t)):>8}"
+        )
+    mean_s = col.latency_summary()["mean"]
+    peak_s = col.latencies.max()
+    lines.append("")
+    lines.append(
+        f"measured: mean={mean_s:.2f} s  max={peak_s:.1f} s   "
+        f"(paper: mean={PAPER['fig8_static_latency_avg_s']} s, "
+        "peaks of hundreds of seconds)"
+    )
+    emit("fig8_latency_static", "\n".join(lines))
+
+    # Shape assertions: continuously increasing then catastrophic latency.
+    early = col.latencies.window(0.0, 300.0).mean()
+    mid = col.latencies.window(900.0, 1200.0).mean()
+    peak = col.latencies.window(1400.0, 1700.0).mean()
+    assert early < mid < peak
+    assert mean_s > 3.0          # average is in whole seconds
+    assert peak_s > 100.0        # thrashing excursions, as in the figure

@@ -1,0 +1,46 @@
+"""Figure 9 — "Response time with Jade".
+
+Same workload as Figure 8, with the self-optimization manager active.
+Paper shape: response time stays flat and interactive across the whole ramp
+(≈ 590 ms on their hardware) — roughly two orders of magnitude below the
+static run's average.
+"""
+
+from benchmarks._shared import PAPER, emit, managed_ramp, static_ramp
+
+
+def bench_fig9_latency_with_jade(benchmark):
+    system = managed_ramp()
+    col = system.collector
+
+    def analysis():
+        return col.latency_buckets(60.0)
+
+    buckets = benchmark(analysis)
+    lines = [
+        "Figure 9: response time WITH Jade, 60 s buckets",
+        "",
+        f"{'t (s)':>8}  {'latency (ms)':>14}  {'clients':>8}",
+    ]
+    for t, v in zip(buckets.times, buckets.values):
+        lines.append(
+            f"{t:8.0f}  {v * 1e3:14.1f}  {int(col.workload.value_at(t)):>8}"
+        )
+    mean_ms = col.latency_summary()["mean"] * 1e3
+    static_mean_s = static_ramp().collector.latency_summary()["mean"]
+    lines.append("")
+    lines.append(
+        f"measured: mean={mean_ms:.0f} ms, max bucket="
+        f"{buckets.values.max() * 1e3:.0f} ms   "
+        f"(paper: stable around {PAPER['fig9_managed_latency_avg_ms']:.0f} ms)"
+    )
+    lines.append(
+        f"managed vs static average: {mean_ms / 1e3:.3f} s vs "
+        f"{static_mean_s:.2f} s  ->  {static_mean_s / (mean_ms / 1e3):.0f}x better"
+    )
+    emit("fig9_latency_managed", "\n".join(lines))
+
+    # Shape assertions: flat & interactive; who-wins factor enormous.
+    assert mean_ms < 500.0                       # stays interactive
+    assert buckets.values.max() < 2.0            # no multi-second bucket
+    assert static_mean_s / (mean_ms / 1e3) > 20  # Jade wins by >20x

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the simulation substrate.
+
+Not a paper figure: these keep the reproduction honest about its own cost
+(the guides' rule — no optimization without measurement) and catch
+performance regressions in the hot paths: the event kernel, the
+processor-sharing resource, and recovery-log replay.
+"""
+
+import numpy as np
+
+from repro.legacy.recovery_log import RecoveryLog
+from repro.simulation import CpuJob, PsCpu, SimKernel
+
+
+def bench_kernel_schedule_run(benchmark):
+    """Schedule + dispatch 10k events."""
+
+    def scenario():
+        kernel = SimKernel()
+        sink = []
+        for i in range(10_000):
+            kernel.schedule(float(i % 100) * 0.01, sink.append, i)
+        kernel.run()
+        return len(sink)
+
+    assert benchmark(scenario) == 10_000
+
+
+def bench_ps_cpu_churn(benchmark):
+    """5k staggered jobs through one processor-sharing CPU."""
+    rng = np.random.default_rng(0)
+    arrivals = np.cumsum(rng.exponential(0.01, size=5000))
+    demands = rng.gamma(4.0, 0.01 / 4.0, size=5000)
+
+    def scenario():
+        kernel = SimKernel()
+        cpu = PsCpu(kernel)
+        for t, d in zip(arrivals, demands):
+            kernel.schedule_at(float(t), cpu.submit, CpuJob(kernel, float(d)))
+        kernel.run()
+        return cpu.completed
+
+    assert benchmark(scenario) == 5000
+
+
+def bench_recovery_log_append_replay(benchmark):
+    """Append 20k writes and walk a 10k-entry replay suffix."""
+
+    def scenario():
+        log = RecoveryLog()
+        for i in range(20_000):
+            log.append(f"UPDATE items SET bid={i}", 0.001)
+        total = sum(1 for _ in log.entries_from(10_000))
+        return total
+
+    assert benchmark(scenario) == 10_000

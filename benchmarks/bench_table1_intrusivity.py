@@ -1,0 +1,53 @@
+"""Table 1 — "Performance overhead" (intrusivity of Jade).
+
+"The intrusivity has been measured by comparing two executions of the J2EE
+application: when it is run and managed by Jade and when it is run by hand,
+without Jade ... submitted to a medium workload so that its execution under
+the control of Jade didn't induce any dynamic reconfiguration."
+
+Paper rows (with Jade / without): throughput 12 / 12 req/s, response time
+89 / 87 ms, CPU 12.74 / 12.42 %, memory 20.1 / 17.5 %.
+"""
+
+from benchmarks._shared import PAPER, constant80, emit
+
+
+def bench_table1_intrusivity(benchmark):
+    def run_both():
+        return constant80(True), constant80(False)
+
+    with_jade, without = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    sw, so = with_jade.summary(), without.summary()
+    paper = PAPER["table1"]
+
+    rows = [
+        ("Throughput (req/s)", sw["throughput_rps"], so["throughput_rps"],
+         *paper["throughput_rps"]),
+        ("Resp. time (ms)", sw["latency_mean_ms"], so["latency_mean_ms"],
+         *paper["resp_time_ms"]),
+        ("CPU usage (%)", sw["node_cpu_mean"] * 100, so["node_cpu_mean"] * 100,
+         *paper["cpu_pct"]),
+        ("Memory usage (%)", sw["node_mem_mean"] * 100, so["node_mem_mean"] * 100,
+         *paper["mem_pct"]),
+    ]
+    lines = [
+        "Table 1: performance overhead at 80 clients (no reconfiguration)",
+        "",
+        f"{'metric':<22}{'with Jade':>12}{'without':>12}"
+        f"{'paper w/':>12}{'paper w/o':>12}",
+    ]
+    for name, mw, mo, pw, po in rows:
+        lines.append(f"{name:<22}{mw:>12.2f}{mo:>12.2f}{pw:>12.2f}{po:>12.2f}")
+    emit("table1_intrusivity", "\n".join(lines))
+
+    # No reconfiguration happened in either run (Table 1's protocol).
+    for system in (with_jade, without):
+        assert system.app_tier.grows_completed == 0
+        assert system.db_tier.grows_completed == 0
+    # Shape: throughput identical; memory overhead visible but small;
+    # CPU overhead imperceptible (paper: +0.32 points).
+    assert abs(sw["throughput_rps"] - so["throughput_rps"]) < 0.5
+    mem_delta = (sw["node_mem_mean"] - so["node_mem_mean"]) * 100
+    assert 0.5 < mem_delta < 6.0
+    cpu_delta = (sw["node_cpu_mean"] - so["node_cpu_mean"]) * 100
+    assert abs(cpu_delta) < 1.0

@@ -1,0 +1,14 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Jade reproduction: autonomic management of clustered applications"
+        " (CLUSTER 2006)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,39 @@
+"""repro — a reproduction of *Autonomic Management of Clustered
+Applications* (Bouchenak, De Palma, Hagimont, Taton — CLUSTER 2006).
+
+The paper's system, **Jade**, wraps legacy middleware in Fractal components
+to give heterogeneous software a uniform management interface, and builds
+autonomic managers (feedback control loops of sensors, reactors and
+actuators) on top — demonstrated by self-optimizing a clustered J2EE
+application (dynamic resizing of the Tomcat and MySQL tiers under a RUBiS
+workload).
+
+Package map
+-----------
+================================  =============================================
+:mod:`repro.simulation`           discrete-event kernel, processes, CPU models
+:mod:`repro.cluster`              nodes, allocator, installer, LAN, failures
+:mod:`repro.fractal`              the Fractal component model + ADL
+:mod:`repro.legacy`               simulated Apache/Tomcat/MySQL/C-JDBC/PLB
+:mod:`repro.wrappers`             Fractal wrappers for the legacy servers
+:mod:`repro.jade`                 deployment, control loops, managers, harness
+:mod:`repro.workload`             RUBiS interactions, clients, ramp profiles
+:mod:`repro.metrics`              time series, moving averages, collector
+================================  =============================================
+
+Quickstart
+----------
+>>> from repro import ExperimentConfig, ManagedSystem
+>>> from repro.workload import ConstantProfile
+>>> system = ManagedSystem(ExperimentConfig(
+...     profile=ConstantProfile(80, 120.0), seed=7))
+>>> collector = system.run()
+>>> collector.completed_requests > 0
+True
+"""
+
+from repro.jade.system import ExperimentConfig, ManagedSystem
+
+__version__ = "1.0.0"
+
+__all__ = ["ExperimentConfig", "ManagedSystem", "__version__"]

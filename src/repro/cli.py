@@ -1,0 +1,185 @@
+"""Command-line interface.
+
+Run the paper's experiments without writing code::
+
+    python -m repro ramp --managed            # Figures 5/6/7/9 run
+    python -m repro ramp --static             # Figure 8 baseline
+    python -m repro steady --clients 80       # Table 1 operating point
+    python -m repro recovery                  # crash + repair scenario
+    python -m repro ramp --managed --csv out.csv   # export the series
+
+Every command prints a summary and (optionally) writes the collected time
+series as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.jade.system import ExperimentConfig, ManagedSystem
+from repro.workload.profiles import ConstantProfile, RampProfile
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="time compression of the scenario (0.5 = half duration)",
+    )
+    parser.add_argument(
+        "--csv", metavar="FILE", default=None, help="write time series as CSV"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Jade reproduction: autonomic management experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ramp = sub.add_parser("ramp", help="the §5.2 workload ramp (80→500→80)")
+    mode = ramp.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--managed", action="store_true", default=True, help="Jade active (default)"
+    )
+    mode.add_argument(
+        "--static",
+        action="store_true",
+        help="no Jade: fixed 1 Tomcat + 1 MySQL (Figure 8)",
+    )
+    ramp.add_argument("--peak", type=int, default=500, help="peak client count")
+    _add_common(ramp)
+
+    steady = sub.add_parser("steady", help="constant load (Table 1 protocol)")
+    steady.add_argument("--clients", type=int, default=80)
+    steady.add_argument("--duration", type=float, default=300.0)
+    steady.add_argument(
+        "--no-jade", action="store_true", help="run without the managers"
+    )
+    _add_common(steady)
+
+    recovery = sub.add_parser("recovery", help="DB replica crash + self-repair")
+    recovery.add_argument("--clients", type=int, default=120)
+    recovery.add_argument("--crash-at", type=float, default=300.0)
+    _add_common(recovery)
+
+    return parser
+
+
+def _print_summary(system: ManagedSystem) -> None:
+    summary = system.summary()
+    col = system.collector
+    print("\nSummary")
+    print(f"  completed requests : {summary['completed']:.0f}")
+    print(f"  failed requests    : {summary['failed']:.0f}")
+    print(f"  throughput         : {summary['throughput_rps']:.2f} req/s")
+    print(f"  mean latency       : {summary['latency_mean_ms']:.1f} ms")
+    print(f"  p95 latency        : {summary['latency_p95_ms']:.1f} ms")
+    print(f"  node CPU / memory  : {summary['node_cpu_mean'] * 100:.1f} % / "
+          f"{summary['node_mem_mean'] * 100:.1f} %")
+    print(
+        f"  peak replicas      : app x{int(summary['app_replicas_max'])}, "
+        f"db x{int(summary['db_replicas_max'])}"
+    )
+    if col.reconfigurations:
+        print("\nReconfigurations")
+        for t, desc in col.reconfigurations:
+            print(f"  t={t:8.1f}s  {desc}")
+
+
+def _write_csv(system: ManagedSystem, path: str) -> None:
+    from repro.metrics.export import write_csv, write_json
+
+    rows = write_csv(system.collector, path)
+    print(f"\n{rows} series rows written to {path}")
+    if path.endswith(".csv"):
+        json_path = path[:-4] + ".json"
+        write_json(
+            system.collector, json_path, horizon_s=system.config.profile.duration_s
+        )
+        print(f"Summary report written to {json_path}")
+
+
+def _run(config: ExperimentConfig, csv_path: Optional[str]) -> ManagedSystem:
+    system = ManagedSystem(config)
+    duration = config.profile.duration_s
+    print(
+        f"Running {duration:.0f} s of simulated time "
+        f"(seed {config.seed}, managed={config.managed}, "
+        f"recovery={bool(config.recovery)})..."
+    )
+    system.run()
+    _print_summary(system)
+    if csv_path:
+        _write_csv(system, csv_path)
+    return system
+
+
+def cmd_ramp(args: argparse.Namespace) -> int:
+    profile = RampProfile(
+        peak=args.peak,
+        warmup_s=300.0 * args.scale,
+        step_period_s=60.0 * args.scale,
+        cooldown_s=300.0 * args.scale,
+    )
+    config = ExperimentConfig(
+        profile=profile, seed=args.seed, managed=not args.static
+    )
+    _run(config, args.csv)
+    return 0
+
+
+def cmd_steady(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        profile=ConstantProfile(args.clients, args.duration * args.scale),
+        seed=args.seed,
+        managed=not args.no_jade,
+    )
+    _run(config, args.csv)
+    return 0
+
+
+def cmd_recovery(args: argparse.Namespace) -> int:
+    duration = max(900.0 * args.scale, args.crash_at + 300.0)
+    config = ExperimentConfig(
+        profile=ConstantProfile(args.clients, duration),
+        seed=args.seed,
+        managed=False,
+        recovery=True,
+    )
+    system = ManagedSystem(config)
+    system.db_tier.grow()
+    system.kernel.run(until=60.0)
+    victim = system.db_tier.replicas[-1]
+    print(
+        f"Scheduling crash of {victim.node.name} "
+        f"({victim.component.name}) at t={args.crash_at:.0f} s"
+    )
+    system.kernel.schedule_at(args.crash_at, victim.node.crash)
+    system.run()
+    _print_summary(system)
+    controller = system.cjdbc.content.controller
+    backends = controller.enabled_backends()
+    digests = {b.server.state_digest for b in backends}
+    print(
+        f"\nBackends after repair: {[b.name for b in backends]} "
+        f"(digests identical: {len(digests) == 1})"
+    )
+    if args.csv:
+        _write_csv(system, args.csv)
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"ramp": cmd_ramp, "steady": cmd_steady, "recovery": cmd_recovery}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Cluster Manager: node-pool allocation.
+
+The paper's *Cluster Manager* component "is responsible for the allocation
+of nodes (from a pool of available nodes) which will host the replicated
+servers of each tier" (§3.3).  Actuators call :meth:`ClusterManager.allocate`
+when a tier must grow and :meth:`ClusterManager.release` when it shrinks, so
+hardware is only held while needed — the resource-saving argument of §1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.cluster.node import Node
+
+
+class NoFreeNodeError(RuntimeError):
+    """The free pool is empty (or no node matches the predicate)."""
+
+
+class AllocationRecord:
+    """Bookkeeping for one allocation (who holds which node since when)."""
+
+    __slots__ = ("node", "owner", "since")
+
+    def __init__(self, node: Node, owner: str, since: float):
+        self.node = node
+        self.owner = owner
+        self.since = since
+
+
+class ClusterManager:
+    """Allocates nodes from a free pool, FIFO by default."""
+
+    def __init__(self, nodes: Iterable[Node]) -> None:
+        self._free: list[Node] = list(nodes)
+        names = [n.name for n in self._free]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate node names in pool")
+        self._allocated: dict[str, AllocationRecord] = {}
+        self.allocations_total = 0
+        self.releases_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._allocated)
+
+    def free_nodes(self) -> list[Node]:
+        return list(self._free)
+
+    def allocated_nodes(self) -> list[Node]:
+        return [rec.node for rec in self._allocated.values()]
+
+    def owner_of(self, node: Node) -> Optional[str]:
+        rec = self._allocated.get(node.name)
+        return rec.owner if rec else None
+
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        owner: str,
+        predicate: Optional[Callable[[Node], bool]] = None,
+    ) -> Node:
+        """Take a node from the free pool for ``owner``.
+
+        ``predicate`` can restrict eligible nodes (e.g. only up nodes, or a
+        minimum CPU speed).  Crashed nodes are never handed out.  Raises
+        :class:`NoFreeNodeError` when nothing matches.
+        """
+        for i, node in enumerate(self._free):
+            if not node.up:
+                continue
+            if predicate is not None and not predicate(node):
+                continue
+            del self._free[i]
+            self._allocated[node.name] = AllocationRecord(
+                node, owner, node.kernel.now
+            )
+            self.allocations_total += 1
+            return node
+        raise NoFreeNodeError(
+            f"no free node for {owner!r} (pool={len(self._free)})"
+        )
+
+    def release(self, node: Node) -> None:
+        """Return a node to the free pool.  Releasing an unallocated node is
+        an error (double-release bugs should not pass silently)."""
+        rec = self._allocated.pop(node.name, None)
+        if rec is None:
+            raise ValueError(f"node {node.name} is not allocated")
+        self.releases_total += 1
+        self._free.append(node)
+
+    def discard(self, node: Node) -> None:
+        """Drop a crashed node from the manager entirely (it will never be
+        allocated again).  Works whether the node was free or allocated."""
+        self._allocated.pop(node.name, None)
+        self._free = [n for n in self._free if n.name != node.name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ClusterManager(free={len(self._free)}, "
+            f"allocated={len(self._allocated)})"
+        )

@@ -1,0 +1,81 @@
+"""Failure injection.
+
+Used by the self-recovery experiments (the paper's Fig. 3 shows a
+self-recovery manager alongside self-optimization; the repair algorithm is
+the one of Bouchenak et al., SRDS 2005).  Supports deterministic one-shot
+crashes and a Poisson crash process over a set of nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.node import Node
+from repro.simulation.kernel import PeriodicTask, SimKernel
+
+
+class FailureInjector:
+    """Schedules node crashes."""
+
+    def __init__(self, kernel: SimKernel, rng: Optional[np.random.Generator] = None):
+        self.kernel = kernel
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.crashes_injected = 0
+        self._poisson_tasks: list[PeriodicTask] = []
+
+    def crash_at(self, node: Node, time: float) -> None:
+        """Crash ``node`` at absolute simulated ``time``."""
+        self.kernel.schedule_at(time, self._crash, node)
+
+    def crash_after(self, node: Node, delay: float) -> None:
+        """Crash ``node`` after ``delay`` seconds."""
+        self.kernel.schedule(delay, self._crash, node)
+
+    def _crash(self, node: Node) -> None:
+        if node.up:
+            self.crashes_injected += 1
+            node.crash()
+
+    def poisson_crashes(
+        self,
+        nodes: Sequence[Node],
+        mtbf_s: float,
+        victim_filter: Optional[Callable[[Node], bool]] = None,
+        check_period_s: float = 1.0,
+    ) -> PeriodicTask:
+        """Crash a uniformly-random eligible node with exponential
+        inter-arrival times of mean ``mtbf_s``.
+
+        Implemented as a Bernoulli approximation evaluated every
+        ``check_period_s`` (exact in the limit of small periods).  Returns
+        the periodic task so callers can cancel the process.
+        """
+        if mtbf_s <= 0:
+            raise ValueError("mtbf must be positive")
+        p = 1.0 - float(np.exp(-check_period_s / mtbf_s))
+        nodes = list(nodes)
+
+        def maybe_crash() -> None:
+            if self.rng.random() >= p:
+                return
+            candidates = [
+                n
+                for n in nodes
+                if n.up and (victim_filter is None or victim_filter(n))
+            ]
+            if not candidates:
+                return
+            victim = candidates[int(self.rng.integers(len(candidates)))]
+            self._crash(victim)
+
+        task = self.kernel.every(check_period_s, maybe_crash)
+        self._poisson_tasks.append(task)
+        return task
+
+    def stop(self) -> None:
+        """Cancel all ongoing random crash processes."""
+        for task in self._poisson_tasks:
+            task.cancel()
+        self._poisson_tasks.clear()

@@ -1,0 +1,50 @@
+"""LAN model.
+
+The paper's cluster is "connected through a 100 Mbps Ethernet LAN".  We model
+it as a uniform-latency switch: a fixed per-message latency and a shared-link
+bandwidth used for bulk transfers (software installation, database state
+synchronization).  This is deliberately simple — the paper's bottleneck is
+CPU, not the network — but it makes reconfiguration latencies (install +
+sync) non-zero and tunable.
+"""
+
+from __future__ import annotations
+
+
+class Lan:
+    """Uniform switched LAN."""
+
+    def __init__(
+        self,
+        latency_s: float = 0.0002,
+        bandwidth_mbps: float = 100.0,
+        name: str = "lan0",
+    ) -> None:
+        if latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.latency_s = latency_s
+        self.bandwidth_mbps = bandwidth_mbps
+        self.name = name
+        self.messages_total = 0
+        self.bytes_total = 0.0
+
+    def message_delay(self, payload_kb: float = 1.0) -> float:
+        """One-way delay for a small message of ``payload_kb`` kilobytes."""
+        if payload_kb < 0:
+            raise ValueError("payload must be >= 0")
+        self.messages_total += 1
+        self.bytes_total += payload_kb * 1024.0
+        # 100 Mbps = 12.5 MB/s = 12800 KB/s
+        return self.latency_s + payload_kb / (self.bandwidth_mbps * 128.0)
+
+    def transfer_time(self, size_mb: float) -> float:
+        """Time to ship a bulk payload of ``size_mb`` megabytes."""
+        if size_mb < 0:
+            raise ValueError("size must be >= 0")
+        self.bytes_total += size_mb * 1024.0 * 1024.0
+        return self.latency_s + size_mb * 8.0 / self.bandwidth_mbps
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Lan({self.bandwidth_mbps} Mbps, {self.latency_s * 1e3:.2f} ms)"

@@ -1,0 +1,91 @@
+"""A Python implementation of the Fractal component model.
+
+Fractal (Bruneton, Coupaye, Stefani — WCOP 2002) is the component model Jade
+uses to wrap legacy software behind a uniform management interface.  This
+package implements the subset the paper relies on, faithfully:
+
+* primitive components (encapsulating an executable content object) and
+  composite components (assemblies of sub-components);
+* server / client interfaces with contingency (mandatory/optional) and
+  cardinality (singleton/collection);
+* primitive bindings between client and server interfaces, and composite
+  bindings crossing node boundaries;
+* the four controller kinds of §3.1: attribute, binding, content and
+  life-cycle controllers (plus a name controller);
+* an XML Architecture Description Language (§3.3) with a component-factory
+  registry, interpreted at deployment time.
+"""
+
+from repro.fractal.adl import AdlError, AdlParser, ComponentFactoryRegistry, parse_adl
+from repro.fractal.bindings import CompositeBinding
+from repro.fractal.component import Component, Membrane
+from repro.fractal.controllers import (
+    AttributeController,
+    BindingController,
+    ContentController,
+    LifecycleController,
+    LifecycleState,
+    NameController,
+)
+from repro.fractal.errors import (
+    FractalError,
+    IllegalBindingError,
+    IllegalContentError,
+    IllegalLifecycleError,
+    NoSuchAttributeError,
+    NoSuchInterfaceError,
+)
+from repro.fractal.interfaces import (
+    CLIENT,
+    COLLECTION,
+    MANDATORY,
+    OPTIONAL,
+    SERVER,
+    SINGLETON,
+    Interface,
+    InterfaceType,
+)
+from repro.fractal.introspection import (
+    architecture_report,
+    find_components,
+    iter_components,
+    verify_architecture,
+)
+from repro.fractal.views import build_view, software_view, topology_view
+
+__all__ = [
+    "AdlError",
+    "AdlParser",
+    "AttributeController",
+    "BindingController",
+    "CLIENT",
+    "COLLECTION",
+    "Component",
+    "ComponentFactoryRegistry",
+    "CompositeBinding",
+    "ContentController",
+    "FractalError",
+    "IllegalBindingError",
+    "IllegalContentError",
+    "IllegalLifecycleError",
+    "Interface",
+    "InterfaceType",
+    "LifecycleController",
+    "LifecycleState",
+    "MANDATORY",
+    "Membrane",
+    "NameController",
+    "NoSuchAttributeError",
+    "NoSuchInterfaceError",
+    "OPTIONAL",
+    "SERVER",
+    "SINGLETON",
+    "architecture_report",
+    "build_view",
+    "find_components",
+    "iter_components",
+    "parse_adl",
+    "software_view",
+    "topology_view",
+    "verify_architecture",
+]

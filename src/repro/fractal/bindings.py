@@ -1,0 +1,106 @@
+"""Composite bindings.
+
+"A composite binding is a Fractal component that embodies a communication
+path between an arbitrary number of component interfaces ... built out of a
+set of primitive bindings and binding components (stubs, skeletons,
+adapters, etc.)" (§3.1).
+
+In this reproduction, management-layer invocations are local, so a composite
+binding is mostly *structural*: it is a first-class component that sits on
+the path, counts traffic and can model a network hop (useful to represent a
+binding that crosses node boundaries in the legacy layer).  It exposes:
+
+* a server interface ``in`` — callers invoke through it;
+* a client interface ``out`` — bound to the real destination.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cluster.network import Lan
+from repro.fractal.component import Component
+from repro.fractal.interfaces import CLIENT, MANDATORY, SERVER, Interface, InterfaceType
+
+
+class _Forwarder:
+    """Content of a composite binding: relays invocations in → out."""
+
+    def __init__(self, lan: Optional[Lan], payload_kb: float) -> None:
+        self.lan = lan
+        self.payload_kb = payload_kb
+        self.invocations = 0
+        self.simulated_delay_total = 0.0
+        self.component: Optional[Component] = None
+
+    def attached(self, component: Component) -> None:
+        self.component = component
+
+    def __getattr__(self, method: str) -> Any:
+        # Any non-hook method call arriving on the ``in`` server interface is
+        # relayed through the ``out`` client interface.
+        if method.startswith("_") or method.startswith("on_"):
+            raise AttributeError(method)
+
+        def relay(*args: Any, **kwargs: Any) -> Any:
+            assert self.component is not None
+            self.invocations += 1
+            if self.lan is not None:
+                self.simulated_delay_total += self.lan.message_delay(self.payload_kb)
+            out = self.component.get_interface("out")
+            return out.invoke(method, *args, **kwargs)
+
+        return relay
+
+
+class CompositeBinding:
+    """Builds a binding component between a client and a server interface.
+
+    Usage::
+
+        cb = CompositeBinding("apache1-to-tomcat1", signature="ajp", lan=lan)
+        cb.connect(apache1, "ajp", tomcat1.get_interface("ajp"))
+
+    After :meth:`connect`, calls through ``apache1``'s ``ajp`` client
+    interface traverse the binding component (counted, optionally delayed)
+    before reaching ``tomcat1``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        signature: str,
+        lan: Optional[Lan] = None,
+        payload_kb: float = 1.0,
+    ) -> None:
+        self.forwarder = _Forwarder(lan, payload_kb)
+        self.component = Component(
+            name,
+            interface_types=[
+                InterfaceType("in", signature, role=SERVER),
+                InterfaceType("out", signature, role=CLIENT, contingency=MANDATORY),
+            ],
+            content=self.forwarder,
+        )
+
+    @property
+    def invocations(self) -> int:
+        return self.forwarder.invocations
+
+    @property
+    def in_interface(self) -> Interface:
+        return self.component.get_interface("in")
+
+    def connect(self, client: Component, itf_name: str, server: Interface) -> str:
+        """Wire ``client.itf_name -> binding -> server`` and start the
+        binding component.  Returns the instance name of the client-side
+        binding."""
+        self.component.bind("out", server)
+        self.component.start()
+        return client.bind(itf_name, self.in_interface)
+
+    def disconnect(self, client: Component, instance_name: str) -> None:
+        """Remove both primitive bindings and stop the binding component."""
+        client.unbind(instance_name)
+        self.component.stop()
+        self.component.unbind("out")

@@ -1,0 +1,42 @@
+"""Fractal error hierarchy.
+
+Mirrors the exception kinds of the Fractal API: interface lookup failures,
+illegal binding / content / life-cycle operations and attribute errors all
+have distinct types so management programs can react specifically.
+"""
+
+from __future__ import annotations
+
+
+class FractalError(Exception):
+    """Base class for all component-model errors."""
+
+
+class NoSuchInterfaceError(FractalError):
+    """The named interface does not exist on the component."""
+
+    def __init__(self, component: str, interface: str):
+        super().__init__(f"component {component!r} has no interface {interface!r}")
+        self.component = component
+        self.interface = interface
+
+
+class NoSuchAttributeError(FractalError):
+    """The named attribute is not exposed by the attribute controller."""
+
+    def __init__(self, component: str, attribute: str):
+        super().__init__(f"component {component!r} has no attribute {attribute!r}")
+        self.component = component
+        self.attribute = attribute
+
+
+class IllegalBindingError(FractalError):
+    """Binding operation violates the model (role, cardinality, state...)."""
+
+
+class IllegalContentError(FractalError):
+    """Content operation violates the model (cycles, non-composite...)."""
+
+
+class IllegalLifecycleError(FractalError):
+    """Life-cycle operation not permitted in the current state."""

@@ -1,0 +1,141 @@
+"""Interface types and interface instances.
+
+A Fractal component exposes *interfaces*: named access points supporting a
+finite set of methods.  An :class:`InterfaceType` describes an interface
+(name, signature, role, contingency, cardinality); an :class:`Interface` is
+an instance of a type on a particular component.
+
+* **Role** — ``SERVER`` interfaces accept incoming calls; ``CLIENT``
+  interfaces emit outgoing calls and must be *bound* to a server interface
+  before use.
+* **Contingency** — a ``MANDATORY`` client interface must be bound for the
+  component to start (checked by the life-cycle controller).
+* **Cardinality** — a ``COLLECTION`` client interface accepts any number of
+  simultaneous bindings (e.g. a load balancer's ``backends``); a
+  ``SINGLETON`` accepts one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.fractal.errors import IllegalBindingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fractal.component import Component
+
+SERVER = "server"
+CLIENT = "client"
+MANDATORY = "mandatory"
+OPTIONAL = "optional"
+SINGLETON = "singleton"
+COLLECTION = "collection"
+
+
+class InterfaceType:
+    """Description of an interface: its name, signature and binding rules.
+
+    ``signature`` is a free-form identifier (e.g. ``"ajp"`` or
+    ``"jdbc.Driver"``); bindings are only legal between a client and a server
+    interface carrying the *same* signature.  ``dynamic`` marks interfaces
+    whose bindings may be changed while the component is started (the paper
+    rebinds Apache only when stopped, but inserts C-JDBC backends live).
+    """
+
+    __slots__ = ("name", "signature", "role", "contingency", "cardinality", "dynamic")
+
+    def __init__(
+        self,
+        name: str,
+        signature: str,
+        role: str = SERVER,
+        contingency: str = MANDATORY,
+        cardinality: str = SINGLETON,
+        dynamic: bool = False,
+    ) -> None:
+        if role not in (SERVER, CLIENT):
+            raise ValueError(f"bad role {role!r}")
+        if contingency not in (MANDATORY, OPTIONAL):
+            raise ValueError(f"bad contingency {contingency!r}")
+        if cardinality not in (SINGLETON, COLLECTION):
+            raise ValueError(f"bad cardinality {cardinality!r}")
+        self.name = name
+        self.signature = signature
+        self.role = role
+        self.contingency = contingency
+        self.cardinality = cardinality
+        self.dynamic = dynamic
+
+    def is_client(self) -> bool:
+        return self.role == CLIENT
+
+    def is_server(self) -> bool:
+        return self.role == SERVER
+
+    def is_collection(self) -> bool:
+        return self.cardinality == COLLECTION
+
+    def is_mandatory(self) -> bool:
+        return self.contingency == MANDATORY
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"InterfaceType({self.name!r}, sig={self.signature!r}, "
+            f"{self.role}, {self.contingency}, {self.cardinality})"
+        )
+
+
+class Interface:
+    """An interface instance on a component.
+
+    Server interfaces dispatch :meth:`invoke` calls to a *delegate* (by
+    default the component's content object).  Client interfaces forward
+    :meth:`invoke` to the server interface they are bound to.
+    """
+
+    __slots__ = ("component", "itype", "name", "delegate", "target")
+
+    def __init__(
+        self,
+        component: "Component",
+        itype: InterfaceType,
+        name: Optional[str] = None,
+        delegate: Any = None,
+    ) -> None:
+        self.component = component
+        self.itype = itype
+        # Collection-interface instances get suffixed names (``backends-3``).
+        self.name = name if name is not None else itype.name
+        self.delegate = delegate
+        self.target: Optional["Interface"] = None  # for singleton clients
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.component.name}.{self.name}"
+
+    def invoke(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Call ``method`` through this interface.
+
+        On a server interface the call lands on the delegate.  On a bound
+        client interface the call is forwarded to the target server
+        interface; calling through an unbound client raises
+        :class:`IllegalBindingError` — exactly the error a legacy system
+        would surface as a connection failure.
+        """
+        if self.itype.is_server():
+            if self.delegate is None:
+                raise IllegalBindingError(
+                    f"server interface {self.qualified_name} has no delegate"
+                )
+            return getattr(self.delegate, method)(*args, **kwargs)
+        if self.target is None:
+            raise IllegalBindingError(
+                f"client interface {self.qualified_name} is not bound"
+            )
+        return self.target.invoke(method, *args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        bound = ""
+        if self.itype.is_client():
+            bound = f" -> {self.target.qualified_name}" if self.target else " (unbound)"
+        return f"<Interface {self.qualified_name} [{self.itype.role}]{bound}>"

@@ -1,0 +1,76 @@
+"""Alternative architectural points of view (§3.2).
+
+"Manage complex environments with different points of view.  For instance,
+using appropriate composite components, it is possible to represent the
+network topology, the configuration of the J2EE middleware, or the
+configuration of an application on the J2EE middleware."
+
+A *view* is a composite whose sub-components are **shared** references to
+components that primarily live in the application hierarchy: the same
+Apache component appears both under the ``j2ee`` middleware composite and
+under its node's composite in the topology view.  Views are therefore
+always consistent with the real architecture (they reference, never copy),
+and an administration program can navigate whichever decomposition suits
+its task.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cluster.node import Node
+from repro.fractal.component import Component
+from repro.fractal.introspection import iter_components
+
+
+def build_view(
+    name: str,
+    root: Component,
+    group_of: Callable[[Component], Optional[str]],
+) -> Component:
+    """Build a view composite grouping the hierarchy's primitives.
+
+    ``group_of`` maps a component to a group label (or None to leave it out
+    of the view).  Each distinct label becomes a nested composite holding
+    shared references, in first-encounter order.
+    """
+    view = Component(name, composite=True)
+    groups: dict[str, Component] = {}
+    for comp in iter_components(root):
+        if comp.is_composite():
+            continue
+        label = group_of(comp)
+        if label is None:
+            continue
+        group = groups.get(label)
+        if group is None:
+            group = Component(f"{name}:{label}", composite=True)
+            groups[label] = group
+            view.content_controller.add(group)
+        group.content_controller.add(comp, shared=True)
+    return view
+
+
+def topology_view(root: Component, name: str = "topology") -> Component:
+    """The network-topology point of view: one composite per cluster node,
+    containing (shared) every component whose wrapper runs on that node."""
+
+    def node_label(comp: Component) -> Optional[str]:
+        node = getattr(comp.content, "node", None)
+        return node.name if isinstance(node, Node) else None
+
+    return build_view(name, root, node_label)
+
+
+def software_view(root: Component, name: str = "software") -> Component:
+    """The middleware point of view: one composite per wrapper kind
+    (apache / tomcat / mysql / cjdbc / plb...)."""
+
+    def kind_label(comp: Component) -> Optional[str]:
+        content = comp.content
+        if content is None:
+            return None
+        kind = type(content).__name__
+        return kind.removesuffix("Wrapper").lower() if kind.endswith("Wrapper") else None
+
+    return build_view(name, root, kind_label)

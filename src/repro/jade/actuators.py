@@ -1,0 +1,305 @@
+"""Actuators.
+
+"Actuators represent the individual mechanisms necessary to implement
+reconfiguration operations, e.g. allocating a new node to a cluster of
+replicas, adding/removing a replica to the cluster of replicated servers,
+updating connections between the tiers." (§3.4)
+
+"Thanks to the uniform management interface provided by Jade, the actuators
+are generic, since increasing or decreasing the number of replicas of an
+application is implemented as adding or removing components in the
+application structure." (§4.1)
+
+:class:`TierManager` bundles those mechanisms for one replicated tier.  It
+is generic: the same code resizes the Tomcat tier (bind/unbind on PLB's
+``workers`` interface) and the MySQL tier (bind/unbind on C-JDBC's
+``backends`` interface, where the wrapper performs the recovery-log
+synchronization).  The paper's grow sequence — allocate node, install
+software if necessary, reconcile state, integrate with the load balancer —
+is implemented verbatim, with simulated durations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.cluster.allocator import ClusterManager, NoFreeNodeError
+from repro.cluster.installer import SoftwareInstallationService
+from repro.cluster.node import Node
+from repro.fractal.component import Component
+from repro.fractal.controllers import LifecycleState
+from repro.metrics.collector import MetricsCollector
+from repro.simulation.kernel import SimKernel
+from repro.simulation.process import Process, sleep, wait
+
+ReadyCheck = Callable[["ReplicaRecord"], bool]
+
+
+class ReplicaRecord:
+    """One replica of a managed tier."""
+
+    __slots__ = ("component", "node", "binding_instance")
+
+    def __init__(self, component: Component, node: Node, binding_instance: Optional[str]):
+        self.component = component
+        self.node = node
+        self.binding_instance = binding_instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Replica {self.component.name} on {self.node.name}>"
+
+
+class TierManager:
+    """Generic resize/repair actuator for one replicated tier."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        tier_name: str,
+        composite: Component,
+        balancer: Component,
+        balancer_itf: str,
+        replica_itf: str,
+        factory: Callable[..., Component],
+        cluster: ClusterManager,
+        installer: Optional[SoftwareInstallationService] = None,
+        package: Optional[str] = None,
+        replica_attributes: Optional[dict[str, Any]] = None,
+        bindings_template: Optional[list[tuple[str, Any]]] = None,
+        factory_context: Optional[dict[str, Any]] = None,
+        collector: Optional[MetricsCollector] = None,
+        ready_check: Optional[ReadyCheck] = None,
+        drain_delay_s: float = 1.0,
+        arbitration: Optional[object] = None,
+        name_prefix: Optional[str] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.tier_name = tier_name
+        self.composite = composite
+        self.balancer = balancer
+        self.balancer_itf = balancer_itf
+        self.replica_itf = replica_itf
+        self.factory = factory
+        self.cluster = cluster
+        self.installer = installer
+        self.package = package
+        self.replica_attributes = dict(replica_attributes or {})
+        self.bindings_template = list(bindings_template or [])
+        self.factory_context = dict(factory_context or {})
+        self.collector = collector
+        self.ready_check = ready_check
+        self.drain_delay_s = drain_delay_s
+        self.arbitration = arbitration
+        self.name_prefix = name_prefix or tier_name
+        self.replicas: list[ReplicaRecord] = []
+        self.busy = False
+        self._next_id = 1
+        self.grows_completed = 0
+        self.shrinks_completed = 0
+        self.repairs_completed = 0
+        self.grow_failures = 0
+        #: callbacks fired when a reconfiguration completes (the control
+        #: loop resets its moving average here: samples taken against the
+        #: previous configuration no longer describe the system)
+        self.on_reconfigured: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def replica_count(self) -> int:
+        return len(self.replicas)
+
+    def nodes(self) -> list[Node]:
+        return [r.node for r in self.replicas]
+
+    def active_nodes(self) -> list[Node]:
+        """Nodes of replicas that are actually serving (a database replica
+        replaying the recovery log is excluded: its CPU is saturated by the
+        synchronization, not by client load, and including it would bias the
+        probe into re-triggering growth)."""
+        if self.ready_check is None:
+            return self.nodes()
+        return [r.node for r in self.replicas if self.ready_check(r)]
+
+    def components(self) -> list[Component]:
+        return [r.component for r in self.replicas]
+
+    def servers(self) -> list[object]:
+        """The legacy server behind each replica (for heartbeat sensors)."""
+        return [
+            r.component.content.server
+            for r in self.replicas
+            if getattr(r.component.content, "server", None) is not None
+        ]
+
+    # ------------------------------------------------------------------
+    def adopt(self, component: Component, node: Node, binding_instance: Optional[str]) -> None:
+        """Register an initially-deployed replica with the manager."""
+        if any(r.component is component for r in self.replicas):
+            raise ValueError(f"{component.name} already managed")
+        self.replicas.append(ReplicaRecord(component, node, binding_instance))
+        self._next_id = max(self._next_id, len(self.replicas) + 1)
+        self._record_count()
+
+    # ------------------------------------------------------------------
+    # Grow
+    # ------------------------------------------------------------------
+    def grow(self) -> bool:
+        """Start adding one replica.  Returns False (and does nothing) if a
+        reconfiguration is already running, arbitration denies the
+        operation, or no node is free; True once the asynchronous sequence
+        has started."""
+        if self.busy:
+            return False
+        if self.arbitration is not None and not self.arbitration.request(
+            "grow", self.tier_name
+        ):
+            return False
+        try:
+            node = self.cluster.allocate(f"tier:{self.tier_name}")
+        except NoFreeNodeError:
+            self.grow_failures += 1
+            self._event("grow-failed: no free node")
+            return False
+        self.busy = True
+        Process(self.kernel, self._grow_seq(node), name=f"grow:{self.tier_name}")
+        return True
+
+    def _grow_seq(self, node: Node):
+        name = f"{self.name_prefix}{self._next_id}"
+        self._next_id += 1
+        self._event(f"grow: allocating {node.name} for {name}")
+        try:
+            # 1. Install the software if necessary (§4.1).
+            if self.installer is not None and self.package is not None:
+                yield wait(self.installer.install(self.package, node))
+            # 2. Create and wire the replica component.
+            component = self.factory(
+                name, dict(self.replica_attributes), node=node, **self.factory_context
+            )
+            self.composite.content_controller.add(component)
+            for itf_name, target in self.bindings_template:
+                component.bind(itf_name, target)
+            # 3. Start the legacy server (simulated start-script duration).
+            startup = getattr(component.content, "startup_time_s", 1.0)
+            yield sleep(startup)
+            component.start()
+            # 4. Integrate with the load balancer; for the database tier
+            #    the wrapper triggers recovery-log state reconciliation.
+            instance = self.balancer.bind(
+                self.balancer_itf, component.get_interface(self.replica_itf)
+            )
+            record = ReplicaRecord(component, node, instance)
+            self.replicas.append(record)
+            # 5. Wait until the replica is actually serving (DB sync).
+            if self.ready_check is not None:
+                while not self.ready_check(record):
+                    yield sleep(1.0)
+            self.grows_completed += 1
+            self._record_count()
+            self._event(f"grow: {name} active on {node.name}")
+            self._notify_reconfigured()
+        except Exception as exc:  # noqa: BLE001 - surfaced as an event
+            self.grow_failures += 1
+            self._event(f"grow-failed: {exc}")
+            try:
+                self.cluster.release(node)
+            except ValueError:
+                pass
+        finally:
+            self.busy = False
+            if self.arbitration is not None:
+                self.arbitration.complete("grow", self.tier_name)
+
+    # ------------------------------------------------------------------
+    # Shrink
+    # ------------------------------------------------------------------
+    def shrink(self) -> bool:
+        """Start removing the most recently added replica."""
+        if self.busy or len(self.replicas) <= 1:
+            return False
+        if self.arbitration is not None and not self.arbitration.request(
+            "shrink", self.tier_name
+        ):
+            return False
+        self.busy = True
+        record = self.replicas.pop()
+        Process(self.kernel, self._shrink_seq(record), name=f"shrink:{self.tier_name}")
+        return True
+
+    def _shrink_seq(self, record: ReplicaRecord):
+        name = record.component.name
+        self._event(f"shrink: retiring {name}")
+        try:
+            # 1. Unbind from the load balancer (checkpoint for a DB replica).
+            if record.binding_instance is not None:
+                self.balancer.unbind(record.binding_instance)
+            # 2. Let in-flight work drain, then stop the replica.
+            yield sleep(self.drain_delay_s)
+            record.component.stop()
+            self.composite.content_controller.remove(record.component)
+            # 3. Release the node if no longer used (software stays
+            #    installed: "deploy the required software ... if necessary").
+            self.cluster.release(record.node)
+            self.shrinks_completed += 1
+            self._record_count()
+            self._event(f"shrink: {name} released {record.node.name}")
+            self._notify_reconfigured()
+        finally:
+            self.busy = False
+            if self.arbitration is not None:
+                self.arbitration.complete("shrink", self.tier_name)
+
+    # ------------------------------------------------------------------
+    # Repair (used by the self-recovery manager)
+    # ------------------------------------------------------------------
+    def repair(self, failed_component: Component) -> bool:
+        """Replace a crashed replica: clean up the architecture, then grow
+        back onto a fresh node."""
+        record = next(
+            (r for r in self.replicas if r.component is failed_component), None
+        )
+        if record is None:
+            return False
+        if self.arbitration is not None and not self.arbitration.request(
+            "repair", self.tier_name
+        ):
+            return False
+        self.replicas.remove(record)
+        self._record_count()
+        self._event(f"repair: {record.component.name} failed on {record.node.name}")
+        # Clean the management layer: mark failed, drop bindings, remove.
+        record.component.lifecycle_controller.fail()
+        if record.binding_instance is not None:
+            try:
+                self.balancer.unbind(record.binding_instance)
+            except Exception:  # noqa: BLE001 - binding may be half-dead
+                pass
+        record.component.lifecycle_controller.stop()
+        self.composite.content_controller.remove(record.component)
+        self.cluster.discard(record.node)
+        if self.arbitration is not None:
+            self.arbitration.complete("repair", self.tier_name)
+        started = self.grow()
+        if started:
+            self.repairs_completed += 1
+        return started
+
+    # ------------------------------------------------------------------
+    def _notify_reconfigured(self) -> None:
+        for callback in list(self.on_reconfigured):
+            callback()
+
+    def _record_count(self) -> None:
+        if self.collector is not None:
+            self.collector.record_replicas(
+                self.tier_name, self.kernel.now, self.replica_count
+            )
+
+    def _event(self, description: str) -> None:
+        if self.collector is not None:
+            self.collector.record_reconfiguration(
+                self.kernel.now, f"[{self.tier_name}] {description}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TierManager {self.tier_name} x{self.replica_count}>"

@@ -1,0 +1,92 @@
+"""Policy arbitration (extension).
+
+§7: "we intend to work on the problem of conflicting autonomic policies.
+Managers have their own goal and control loops and therefore require a way
+to arbitrate potential conflicts."
+
+This manager implements the conflicts that actually arise between the
+self-recovery and self-optimization managers sharing tiers and a node pool:
+
+* **repair preempts** — while a repair is active on a tier, optimization
+  may neither grow nor shrink that tier (the repair's own grow must win the
+  race for the last free node);
+* **no shrink after repair** — for ``post_repair_cooldown_s`` after a
+  repair completes on a tier, shrink decisions on it are denied (the CPU
+  dip caused by the outage would otherwise trigger a bogus downsize);
+* **one operation per tier** — overlapping operations on one tier are
+  serialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.kernel import SimKernel
+
+_PRIORITY = {"repair": 3, "grow": 2, "shrink": 1}
+
+
+@dataclass
+class Operation:
+    """A granted management operation."""
+
+    kind: str
+    tier: str
+    started_at: float
+
+
+class ArbitrationManager:
+    """Grants or denies management operations."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        post_repair_cooldown_s: float = 120.0,
+    ) -> None:
+        self.kernel = kernel
+        self.post_repair_cooldown_s = post_repair_cooldown_s
+        self._active: dict[str, Operation] = {}  # tier -> op
+        self._last_repair_end: dict[str, float] = {}
+        self.granted: list[Operation] = []
+        self.denied: list[tuple[float, str, str, str]] = []  # (t, kind, tier, why)
+
+    # ------------------------------------------------------------------
+    def request(self, kind: str, tier: str) -> bool:
+        """Ask permission to run ``kind`` on ``tier``."""
+        if kind not in _PRIORITY:
+            raise ValueError(f"unknown operation kind {kind!r}")
+        now = self.kernel.now
+        active = self._active.get(tier)
+        if active is not None:
+            if _PRIORITY[kind] > _PRIORITY[active.kind] and kind == "repair":
+                # Repair preempts a pending optimization (the optimization
+                # operation keeps running, but repair is also admitted: it
+                # targets a *different* replica by construction).
+                pass
+            else:
+                self._deny(kind, tier, f"{active.kind} already active")
+                return False
+        if kind == "shrink":
+            last_repair = self._last_repair_end.get(tier)
+            if last_repair is not None and now - last_repair < self.post_repair_cooldown_s:
+                self._deny(kind, tier, "post-repair cooldown")
+                return False
+        op = Operation(kind, tier, now)
+        self._active[tier] = op
+        self.granted.append(op)
+        return True
+
+    def complete(self, kind: str, tier: str) -> None:
+        """Report the end of a granted operation."""
+        active = self._active.get(tier)
+        if active is not None and active.kind == kind:
+            del self._active[tier]
+        if kind == "repair":
+            self._last_repair_end[tier] = self.kernel.now
+
+    # ------------------------------------------------------------------
+    def active_operation(self, tier: str) -> Operation | None:
+        return self._active.get(tier)
+
+    def _deny(self, kind: str, tier: str, why: str) -> None:
+        self.denied.append((self.kernel.now, kind, tier, why))

@@ -1,0 +1,120 @@
+"""Model-based capacity planning (extension).
+
+The paper's reactor is purely *reactive*: it waits for the smoothed CPU to
+cross a threshold, then changes the replica count by one.  §7 announces
+work on "improving the self-optimizing algorithm".  A classic improvement
+is *model-based* control: from the measured per-tier utilization and the
+current replica count, estimate the tier's total demand rate and compute
+the replica count that would place utilization at a target value —
+then jump straight there.
+
+For a tier with ``k`` replicas at measured (smoothed) utilization ``U``,
+the offered CPU demand rate is ``D = U * k`` replica-equivalents.  To run
+at target utilization ``U*`` the tier needs ``k* = ceil(D / U*)`` replicas.
+Unlike the threshold reactor, the planner:
+
+* can add or remove **several** replicas in one decision (fast ramps);
+* self-adjusts its operating point (no min/max band to hand-tune — only
+  the target ``U*`` and a hysteresis margin to avoid churn).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from repro.jade.sensors import CpuReading
+from repro.simulation.kernel import SimKernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.jade.control_loop import InhibitionLock
+
+
+class PlannerReactor:
+    """Compute-and-jump capacity planner for one tier.
+
+    Drop-in replacement for :class:`~repro.jade.reactors.ThresholdReactor`
+    in a control loop (same ``on_reading`` / ``tier`` / ``probe``
+    contract).
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        tier,
+        inhibition: "InhibitionLock",
+        target_utilization: float = 0.60,
+        hysteresis: float = 0.12,
+        min_replicas: int = 1,
+        max_replicas: Optional[int] = None,
+        warmup_samples: int = 5,
+        fresh_samples_required: int = 30,
+    ) -> None:
+        if not 0.0 < target_utilization < 1.0:
+            raise ValueError("target utilization must be in (0, 1)")
+        if hysteresis < 0.0:
+            raise ValueError("hysteresis must be >= 0")
+        if min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        self.kernel = kernel
+        self.tier = tier
+        self.inhibition = inhibition
+        self.target_utilization = target_utilization
+        self.hysteresis = hysteresis
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.warmup_samples = warmup_samples
+        self.fresh_samples_required = fresh_samples_required
+        self.probe = None
+        self._samples_seen = 0
+        self.grows_triggered = 0
+        self.shrinks_triggered = 0
+        self.decisions_suppressed = 0
+        self.plans: list[tuple[float, int, int]] = []  # (t, from, to)
+
+    # ------------------------------------------------------------------
+    def desired_replicas(self, utilization: float, current: int) -> int:
+        """The plan: replicas needed to hit the target utilization."""
+        demand = utilization * current
+        # The epsilon absorbs float noise (0.2*3/0.6 must be 1, not 2).
+        k = max(
+            self.min_replicas,
+            math.ceil(demand / self.target_utilization - 1e-9),
+        )
+        if self.max_replicas is not None:
+            k = min(k, self.max_replicas)
+        return k
+
+    def on_reading(self, reading: CpuReading) -> None:
+        self._samples_seen += 1
+        if self._samples_seen < self.warmup_samples:
+            return
+        if (
+            self.probe is not None
+            and self.probe.window.sample_count < self.fresh_samples_required
+        ):
+            return
+        current = self.tier.replica_count
+        # Hysteresis: only act when utilization leaves the comfort band
+        # around the target (prevents ping-pong at plan boundaries).
+        low = self.target_utilization - self.hysteresis
+        high = self.target_utilization + self.hysteresis
+        if low <= reading.smoothed <= high:
+            return
+        desired = self.desired_replicas(reading.smoothed, current)
+        if desired == current:
+            return
+        if not self.inhibition.try_acquire():
+            self.decisions_suppressed += 1
+            return
+        self.plans.append((self.kernel.now, current, desired))
+        if desired > current:
+            if self.tier.grow():
+                self.grows_triggered += 1
+            else:
+                self.decisions_suppressed += 1
+        else:
+            if self.tier.shrink():
+                self.shrinks_triggered += 1
+            else:
+                self.decisions_suppressed += 1

@@ -1,0 +1,183 @@
+"""Reactors (analysis/decision components).
+
+"The decision logic implemented to trigger such a reconfiguration is based
+on thresholds on CPU loads provided by sensors ... The objective is to keep
+the CPU usage value between these two thresholds." (§4.1, §5.2)
+
+The shared :class:`~repro.jade.control_loop.InhibitionLock` implements "in
+order to prevent oscillations, a reconfiguration started by one of the
+control loops inhibits any new reconfiguration for a short period (one
+minute)".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.jade.sensors import CpuReading
+from repro.simulation.kernel import SimKernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.jade.actuators import TierManager
+    from repro.jade.control_loop import InhibitionLock
+
+
+class ThresholdReactor:
+    """The paper's threshold trigger for one tier.
+
+    * smoothed CPU > ``max_threshold`` → grow the tier by one replica;
+    * smoothed CPU < ``min_threshold`` → shrink by one (never below
+      ``min_replicas``).
+
+    A decision is suppressed while the shared inhibition lock is held or
+    while the actuator is still executing a previous reconfiguration.
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        tier: "TierManager",
+        inhibition: "InhibitionLock",
+        max_threshold: float = 0.80,
+        min_threshold: float = 0.35,
+        min_replicas: int = 1,
+        max_replicas: Optional[int] = None,
+        warmup_samples: int = 5,
+        fresh_samples_required: int = 30,
+    ) -> None:
+        if not 0.0 <= min_threshold < max_threshold <= 1.0:
+            raise ValueError(
+                f"need 0 <= min < max <= 1, got ({min_threshold}, {max_threshold})"
+            )
+        if min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        self.kernel = kernel
+        self.tier = tier
+        self.inhibition = inhibition
+        self.max_threshold = max_threshold
+        self.min_threshold = min_threshold
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.warmup_samples = warmup_samples
+        #: samples that must accumulate after a moving-average reset before
+        #: the reactor decides again (fresh evidence about the *new*
+        #: configuration)
+        self.fresh_samples_required = fresh_samples_required
+        #: the probe feeding this reactor (set by the control-loop
+        #: assembly); when present, its moving average is reset whenever the
+        #: tier reconfigures
+        self.probe = None
+        self._samples_seen = 0
+        self.grows_triggered = 0
+        self.shrinks_triggered = 0
+        self.decisions_suppressed = 0
+
+    # -- the sensor pushes readings here -----------------------------------
+    def on_reading(self, reading: CpuReading) -> None:
+        self._samples_seen += 1
+        if self._samples_seen < self.warmup_samples:
+            return
+        if (
+            self.probe is not None
+            and self.probe.window.sample_count < self.fresh_samples_required
+        ):
+            return
+        if reading.smoothed > self.max_threshold:
+            self._try_grow()
+        elif reading.smoothed < self.min_threshold:
+            self._try_shrink()
+
+    # ------------------------------------------------------------------
+    def _try_grow(self) -> None:
+        if self.max_replicas is not None and self.tier.replica_count >= self.max_replicas:
+            self.decisions_suppressed += 1
+            return
+        if not self.inhibition.try_acquire():
+            self.decisions_suppressed += 1
+            return
+        if not self.tier.grow():
+            self.decisions_suppressed += 1
+            return
+        self.grows_triggered += 1
+
+    def _try_shrink(self) -> None:
+        if self.tier.replica_count <= self.min_replicas:
+            return
+        if not self.inhibition.try_acquire():
+            self.decisions_suppressed += 1
+            return
+        if not self.tier.shrink():
+            self.decisions_suppressed += 1
+            return
+        self.shrinks_triggered += 1
+
+
+class AdaptiveThresholdReactor(ThresholdReactor):
+    """Extension (§7 future work: "improving the self-optimizing algorithm
+    by setting incrementally and dynamically its parameters").
+
+    Detects oscillation — a grow and a shrink within ``oscillation_window_s``
+    of each other — and widens the dead band by lowering ``min_threshold``
+    (down to ``min_floor``).  When no oscillation occurs for
+    ``relax_after_s``, the band narrows back towards its initial width.
+    """
+
+    def __init__(
+        self,
+        *args,
+        oscillation_window_s: float = 300.0,
+        widen_step: float = 0.05,
+        relax_after_s: float = 900.0,
+        min_floor: float = 0.10,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.oscillation_window_s = oscillation_window_s
+        self.widen_step = widen_step
+        self.relax_after_s = relax_after_s
+        self.min_floor = min_floor
+        self._initial_min = self.min_threshold
+        self._last_grow_t: Optional[float] = None
+        self._last_shrink_t: Optional[float] = None
+        self._last_adapt_t = 0.0
+        self.adaptations = 0
+
+    def _try_grow(self) -> None:
+        before = self.grows_triggered
+        super()._try_grow()
+        if self.grows_triggered > before:
+            self._last_grow_t = self.kernel.now
+            self._maybe_adapt()
+
+    def _try_shrink(self) -> None:
+        before = self.shrinks_triggered
+        super()._try_shrink()
+        if self.shrinks_triggered > before:
+            self._last_shrink_t = self.kernel.now
+            self._maybe_adapt()
+
+    def _maybe_adapt(self) -> None:
+        now = self.kernel.now
+        if (
+            self._last_grow_t is not None
+            and self._last_shrink_t is not None
+            and abs(self._last_grow_t - self._last_shrink_t) <= self.oscillation_window_s
+        ):
+            # Oscillating: widen the dead band.
+            self.min_threshold = max(
+                self.min_floor, self.min_threshold - self.widen_step
+            )
+            self._last_adapt_t = now
+            self.adaptations += 1
+            # Consume the pair so one oscillation adapts once.
+            self._last_grow_t = None
+            self._last_shrink_t = None
+        elif (
+            now - self._last_adapt_t > self.relax_after_s
+            and self.min_threshold < self._initial_min
+        ):
+            self.min_threshold = min(
+                self._initial_min, self.min_threshold + self.widen_step / 2.0
+            )
+            self._last_adapt_t = now
+            self.adaptations += 1

@@ -1,0 +1,81 @@
+"""Rolling reconfiguration of static bindings.
+
+mod_jk's worker list is *static*: rebinding an Apache requires stopping it
+(§5.1).  When a whole web tier must be repointed — e.g. a Tomcat replica
+was added behind several Apaches — doing them all at once would black out
+the site.  This actuator performs the paper's stop/unbind/bind/start
+sequence **one frontend at a time**, waiting out each restart, so the
+remaining replicas keep serving (their balancer skips the one that is
+down).
+
+This composes the paper's actuator vocabulary ("updating connections
+between the tiers", §3.4) into a higher-level operation, using only the
+uniform component interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.fractal.component import Component
+from repro.fractal.interfaces import Interface
+from repro.simulation.kernel import SimKernel
+from repro.simulation.process import Process, Signal, sleep
+
+
+class RollingRebind:
+    """Sequentially repoint a set of frontends' client interfaces."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        frontends: Sequence[Component],
+        itf_name: str,
+        targets: Sequence[Interface],
+        settle_s: float = 1.0,
+    ) -> None:
+        if not frontends:
+            raise ValueError("need at least one frontend")
+        if not targets:
+            raise ValueError("need at least one target")
+        self.kernel = kernel
+        self.frontends = list(frontends)
+        self.itf_name = itf_name
+        self.targets = list(targets)
+        self.settle_s = settle_s
+        self.done = Signal(kernel)
+        self.restarted = 0
+
+    def start(self) -> "RollingRebind":
+        """Begin the rolling sequence; ``done`` fires when every frontend
+        has been restarted against the new target set."""
+        Process(self.kernel, self._sequence(), name="rolling-rebind")
+        return self
+
+    def _sequence(self):
+        for frontend in self.frontends:
+            was_started = frontend.lifecycle_controller.is_started()
+            frontend.stop()
+            bc = frontend.binding_controller
+            bc.unbind_all(self.itf_name)
+            for target in self.targets:
+                frontend.bind(self.itf_name, target)
+            startup = getattr(frontend.content, "startup_time_s", 1.0)
+            yield sleep(startup)
+            if was_started:
+                frontend.start()
+            self.restarted += 1
+            # Let the restarted replica take load before touching the next.
+            yield sleep(self.settle_s)
+        self.done.succeed(self)
+
+
+def rolling_rebind(
+    kernel: SimKernel,
+    frontends: Sequence[Component],
+    itf_name: str,
+    targets: Sequence[Interface],
+    settle_s: float = 1.0,
+) -> RollingRebind:
+    """Convenience wrapper: build and start a :class:`RollingRebind`."""
+    return RollingRebind(kernel, frontends, itf_name, targets, settle_s).start()

@@ -1,0 +1,117 @@
+"""The self-recovery manager (Fig. 3; repair algorithm after Bouchenak et
+al., SRDS 2005).
+
+A heartbeat sensor watches every replica of the managed tiers; when one
+fails (its node crashed or its process died), the repair reactor asks the
+tier's actuator to repair: clean the architecture, allocate a fresh node,
+redeploy the software and re-integrate the replica — for a database replica
+this includes recovery-log synchronization, so the repaired replica comes
+back with consistent state.
+
+Repairs that cannot run immediately (tier busy, no free node, arbitration
+denial) stay queued and are retried every ``retry_period_s``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fractal.component import Component
+from repro.jade.actuators import TierManager
+from repro.jade.sensors import HeartbeatSensor
+from repro.metrics.collector import MetricsCollector
+from repro.simulation.kernel import PeriodicTask, SimKernel
+
+
+class SelfRecoveryManager:
+    """Failure detection + repair across a set of managed tiers."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        tiers: list[TierManager],
+        collector: Optional[MetricsCollector] = None,
+        detect_period_s: float = 1.0,
+        retry_period_s: float = 5.0,
+    ) -> None:
+        self.kernel = kernel
+        self.tiers = list(tiers)
+        self.collector = collector
+        self.retry_period_s = retry_period_s
+        self.sensor = HeartbeatSensor(
+            kernel, self._all_servers, period_s=detect_period_s
+        )
+        self.sensor.subscribe(self._on_failure)
+        self._pending: list[tuple[TierManager, Component]] = []
+        self._retry_task: Optional[PeriodicTask] = None
+        self.failures_seen = 0
+        self.repairs_started = 0
+        # The manager is itself a component (Jade administrates itself).
+        self.composite = Component("self-recovery-manager", composite=True)
+        self.composite.content_controller.add(
+            Component("recovery-sensor", content=self.sensor)
+        )
+
+    # ------------------------------------------------------------------
+    def _all_servers(self):
+        for tier in self.tiers:
+            yield from tier.servers()
+
+    def _tier_of(self, server: object) -> Optional[tuple[TierManager, Component]]:
+        for tier in self.tiers:
+            for record in tier.replicas:
+                if getattr(record.component.content, "server", None) is server:
+                    return tier, record.component
+        return None
+
+    # ------------------------------------------------------------------
+    def _on_failure(self, server: object) -> None:
+        located = self._tier_of(server)
+        if located is None:
+            return  # already repaired or not ours
+        tier, component = located
+        self.failures_seen += 1
+        if self.collector is not None:
+            self.collector.record_reconfiguration(
+                self.kernel.now,
+                f"[recovery] detected failure of {component.name}",
+            )
+        if tier.repair(component):
+            self.repairs_started += 1
+        else:
+            self._pending.append((tier, component))
+
+    def _retry(self) -> None:
+        still_pending: list[tuple[TierManager, Component]] = []
+        for tier, component in self._pending:
+            # The replica may have been cleaned up already (repair() removes
+            # it from the tier) — grow back if the tier is short-handed.
+            if any(r.component is component for r in tier.replicas):
+                if not tier.repair(component):
+                    still_pending.append((tier, component))
+                else:
+                    self.repairs_started += 1
+            else:
+                if not tier.grow():
+                    still_pending.append((tier, component))
+                else:
+                    self.repairs_started += 1
+        self._pending = still_pending
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.composite.start()
+        self.sensor.on_start()
+        if self._retry_task is None:
+            self._retry_task = self.kernel.every(self.retry_period_s, self._retry)
+
+    def stop(self) -> None:
+        self.sensor.on_stop()
+        self.composite.stop()
+        if self._retry_task is not None:
+            self._retry_task.cancel()
+            self._retry_task = None
+
+    @property
+    def pending_repairs(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,274 @@
+"""Sensors.
+
+"Sensors are responsible for the detection of the occurrence of a
+particular event ... sensors must monitor and aggregate low-level
+information such as CPU/memory usage, or higher-level information such as
+client response times.  Sensors must be efficient and lightweight." (§3.4)
+
+The CPU probe is the paper's workhorse: it samples per-node CPU utilization
+every second, averages spatially over the tier's nodes and temporally with
+a moving average (60 s for app servers, 90 s for databases — §5.2), and
+pushes readings to its subscriber.  Sampling costs a small CPU job on each
+sampled node, which is the source of Jade's (tiny) intrusivity in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.cluster.node import Node
+from repro.metrics.aggregates import MovingAverage, spatial_average
+from repro.simulation.kernel import PeriodicTask, SimKernel
+
+
+class UtilizationSampler:
+    """Non-destructive per-consumer utilization sampling.
+
+    Several independent observers (a Jade probe, the experiment's metrics
+    sampler) may watch the same node; each keeps its own (time, busy)
+    anchor so they do not steal each other's deltas.
+    """
+
+    def __init__(self) -> None:
+        self._anchors: dict[str, tuple[float, float]] = {}
+
+    def sample(self, node: Node) -> float:
+        """Utilization of ``node`` since this sampler last looked at it."""
+        now = node.kernel.now
+        busy = node.cpu.busy_time()
+        last_t, last_busy = self._anchors.get(node.name, (0.0, 0.0))
+        self._anchors[node.name] = (now, busy)
+        span = now - last_t
+        if span <= 0.0:
+            return 0.0
+        return min(1.0, (busy - last_busy) / span)
+
+    def forget(self, node: Node) -> None:
+        """Drop the anchor (node released or crashed)."""
+        self._anchors.pop(node.name, None)
+
+
+@dataclass(frozen=True)
+class CpuReading:
+    """One probe notification."""
+
+    t: float
+    smoothed: float   # spatial + temporal average
+    raw: float        # spatial average of the last period only
+    node_count: int
+
+
+ReadingListener = Callable[[CpuReading], None]
+NodesProvider = Callable[[], list[Node]]
+
+
+class CpuProbe:
+    """Periodic CPU probe over a (dynamic) set of nodes.
+
+    ``nodes_provider`` is consulted at every sample so a resized tier is
+    followed automatically.  ``probe_demand_s`` CPU is consumed on every
+    sampled node per sample (set 0 to model a free probe).
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        nodes_provider: NodesProvider,
+        window_s: float,
+        period_s: float = 1.0,
+        probe_demand_s: float = 0.0,
+        name: str = "cpu-probe",
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.kernel = kernel
+        self.nodes_provider = nodes_provider
+        self.period_s = period_s
+        self.probe_demand_s = probe_demand_s
+        self.name = name
+        self.window = MovingAverage(window_s)
+        self.sampler = UtilizationSampler()
+        self.samples_taken = 0
+        self._listeners: list[ReadingListener] = []
+        self._task: Optional[PeriodicTask] = None
+
+    def subscribe(self, listener: ReadingListener) -> None:
+        self._listeners.append(listener)
+
+    # -- lifecycle hooks (driven by the sensor component wrapper) ----------
+    def on_start(self, component=None) -> None:
+        if self._task is None:
+            self._task = self.kernel.every(self.period_s, self._sample)
+
+    def on_stop(self, component=None) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None
+
+    # ------------------------------------------------------------------
+    def _sample(self) -> None:
+        nodes = [n for n in self.nodes_provider() if n.up]
+        if self.probe_demand_s > 0.0:
+            for node in nodes:
+                node.run_job(self.probe_demand_s, tag=self.name)
+        raw = spatial_average(self.sampler.sample(n) for n in nodes)
+        self.samples_taken += 1
+        if raw != raw:  # NaN: empty tier
+            return
+        smoothed = self.window.add(self.kernel.now, raw)
+        reading = CpuReading(self.kernel.now, smoothed, raw, len(nodes))
+        for listener in list(self._listeners):
+            listener(reading)
+
+
+ServerProvider = Callable[[], Iterable[object]]
+FailureListener = Callable[[object], None]
+
+
+class HeartbeatSensor:
+    """Failure detector for the self-recovery manager.
+
+    Every period it pings each managed element (anything with ``running``
+    and a ``node``); an element whose node is down, or which stopped
+    running without a management action, is reported exactly once.
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        servers_provider: ServerProvider,
+        period_s: float = 1.0,
+        name: str = "heartbeat",
+    ) -> None:
+        self.kernel = kernel
+        self.servers_provider = servers_provider
+        self.period_s = period_s
+        self.name = name
+        self._listeners: list[FailureListener] = []
+        self._reported: set[int] = set()
+        self._task: Optional[PeriodicTask] = None
+        self.failures_detected = 0
+
+    def subscribe(self, listener: FailureListener) -> None:
+        self._listeners.append(listener)
+
+    def on_start(self, component=None) -> None:
+        if self._task is None:
+            self._task = self.kernel.every(self.period_s, self._check)
+
+    def on_stop(self, component=None) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _check(self) -> None:
+        for server in self.servers_provider():
+            node = getattr(server, "node", None)
+            healthy = getattr(server, "running", True) and (
+                node is None or node.up
+            )
+            if healthy:
+                self._reported.discard(id(server))
+            elif id(server) not in self._reported:
+                self._reported.add(id(server))
+                self.failures_detected += 1
+                for listener in list(self._listeners):
+                    listener(server)
+
+
+class ResponseTimeProbe:
+    """Optional higher-level sensor (§4.2): moving average of client
+    response times, fed by the experiment's metrics stream."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        window_s: float = 60.0,
+        name: str = "rt-probe",
+    ) -> None:
+        self.kernel = kernel
+        self.window = MovingAverage(window_s)
+        self.name = name
+        self._listeners: list[Callable[[float, float], None]] = []
+
+    def subscribe(self, listener: Callable[[float, float], None]) -> None:
+        """listener(t, smoothed_latency_s)"""
+        self._listeners.append(listener)
+
+    def observe(self, t: float, latency_s: float) -> None:
+        smoothed = self.window.add(t, latency_s)
+        for listener in list(self._listeners):
+            listener(t, smoothed)
+
+
+@dataclass(frozen=True)
+class LatencyReading:
+    """One latency-sensor notification (same shape contract as
+    :class:`CpuReading`: reactors read ``.smoothed`` and ``.raw``)."""
+
+    t: float
+    smoothed: float   # moving average of per-request latency, seconds
+    raw: float        # mean latency over the last period, seconds
+    sample_count: int
+
+
+class LatencySensor:
+    """Periodic sensor over the experiment's latency stream.
+
+    "a sensor specific to optimization may provide an estimator of the
+    response-time to client requests" (§4.2).  Each period it consumes the
+    latencies recorded since the previous sample, maintains a moving
+    average, and pushes a :class:`LatencyReading`.  Silent periods (no
+    completions) emit nothing — the controlled quantity is undefined.
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        latency_series,
+        window_s: float = 60.0,
+        period_s: float = 1.0,
+        name: str = "latency-sensor",
+    ) -> None:
+        self.kernel = kernel
+        self.series = latency_series  # a metrics TimeSeries of latencies
+        self.window = MovingAverage(window_s)
+        self.period_s = period_s
+        self.name = name
+        self._cursor = 0
+        self._listeners: list[Callable[[LatencyReading], None]] = []
+        self._task: Optional[PeriodicTask] = None
+        self.samples_taken = 0
+
+    def subscribe(self, listener: Callable[[LatencyReading], None]) -> None:
+        self._listeners.append(listener)
+
+    def on_start(self, component=None) -> None:
+        if self._task is None:
+            self._task = self.kernel.every(self.period_s, self._sample)
+
+    def on_stop(self, component=None) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _sample(self) -> None:
+        self.samples_taken += 1
+        fresh = self.series.tail_since(self._cursor)
+        self._cursor += len(fresh)
+        for t, v in fresh:
+            self.window.add(t, v)
+        new = [v for _, v in fresh]
+        # Age the window even when no sample arrived.
+        smoothed = self.window.age(self.kernel.now)
+        if smoothed != smoothed:  # NaN: nothing in the window
+            return
+        raw = float(sum(new) / len(new)) if new else smoothed
+        reading = LatencyReading(self.kernel.now, smoothed, raw, len(new))
+        for listener in list(self._listeners):
+            listener(reading)

@@ -1,0 +1,87 @@
+"""C-JDBC recovery log.
+
+"A 'recovery log' has been added to the C-JDBC load-balancer.  This
+recovery log is implemented as a particular database whose purpose is to
+keep track of all the requests that affect the state of the database.
+Basically, all write requests are logged and indexed as strings in this
+recovery log." (§4.1)
+
+The log is an append-only sequence of :class:`WriteEntry`.  Inserting a new
+backend replays the suffix of the log it has not yet executed; removing a
+backend records the index of the last write it executed, so a later
+re-insertion replays only the gap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class WriteEntry:
+    """One logged write request."""
+
+    __slots__ = ("index", "write_id", "sql", "demand")
+
+    def __init__(self, index: int, write_id: int, sql: str, demand: float):
+        self.index = index
+        self.write_id = write_id
+        self.sql = sql
+        self.demand = demand
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WriteEntry(#{self.index}, id={self.write_id})"
+
+
+class RecoveryLog:
+    """Append-only indexed write log with per-backend checkpoints."""
+
+    def __init__(self) -> None:
+        self._entries: list[WriteEntry] = []
+        self._checkpoints: dict[str, int] = {}
+        self._next_write_id = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def next_index(self) -> int:
+        """Index the next appended entry will receive (== current length)."""
+        return len(self._entries)
+
+    def append(self, sql: str, demand: float) -> WriteEntry:
+        """Log a write request; returns the entry (with its index)."""
+        entry = WriteEntry(len(self._entries), self._next_write_id, sql, demand)
+        self._next_write_id += 1
+        self._entries.append(entry)
+        return entry
+
+    def get(self, index: int) -> WriteEntry:
+        return self._entries[index]
+
+    def entries_from(self, index: int) -> Iterator[WriteEntry]:
+        """Iterate entries with index >= ``index`` (the replay suffix)."""
+        if index < 0:
+            raise IndexError("index must be >= 0")
+        return iter(self._entries[index:])
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Checkpoints ("the state is stored as the index value in the recovery
+    # log corresponding to the last write request that it has executed
+    # before being disabled")
+    # ------------------------------------------------------------------
+    def set_checkpoint(self, backend_name: str, index: int) -> None:
+        if not 0 <= index <= self.next_index:
+            raise IndexError(
+                f"checkpoint {index} outside log bounds [0, {self.next_index}]"
+            )
+        self._checkpoints[backend_name] = index
+
+    def checkpoint(self, backend_name: str) -> Optional[int]:
+        return self._checkpoints.get(backend_name)
+
+    def drop_checkpoint(self, backend_name: str) -> None:
+        self._checkpoints.pop(backend_name, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RecoveryLog({len(self._entries)} entries)"

@@ -1,0 +1,125 @@
+"""Simulated Jakarta Tomcat servlet container.
+
+Serves the dynamic interactions of the RUBiS application: each request
+consumes servlet CPU (``app_demand_pre``), issues its database work through
+the JDBC datasource configured in ``server.xml`` (a C-JDBC URL in the
+clustered setup, or a direct MySQL URL), then generates the HTML response
+(``app_demand_post``).
+
+The evaluation application "was composed of servlets with no dynamically
+changing session information" (§4.1), so Tomcat replicas are stateless and
+can be added/removed without state reconciliation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Union
+
+from repro.cluster.network import Lan
+from repro.cluster.node import Node
+from repro.legacy.configfiles import ConfigError, ServerXml
+from repro.legacy.directory import Directory, EndpointNotFound
+from repro.legacy.requests import WebRequest
+from repro.legacy.server import LegacyServer, ServerNotRunning
+from repro.simulation.kernel import SimKernel
+from repro.simulation.process import Signal
+
+_JDBC_URL = re.compile(r"^jdbc:(?P<driver>[\w-]+)://(?P<host>[\w.-]+):(?P<port>\d+)/(?P<db>\w+)$")
+
+
+def parse_jdbc_url(url: str) -> tuple[str, str, int, str]:
+    """``jdbc:cjdbc://host:port/db`` -> (driver, host, port, database)."""
+    m = _JDBC_URL.match(url)
+    if m is None:
+        raise ConfigError(f"bad JDBC URL {url!r}")
+    return m["driver"], m["host"], int(m["port"]), m["db"]
+
+
+class TomcatServer(LegacyServer):
+    """A Tomcat replica."""
+
+    CONFIG_PATH = "/etc/tomcat/server.xml"
+    footprint_mb = 96.0
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        name: str,
+        node: Node,
+        directory: Directory,
+        lan: Optional[Lan] = None,
+    ) -> None:
+        super().__init__(kernel, name, node, directory, lan)
+        self.conf: Optional[ServerXml] = None
+        self._ds_host: Optional[str] = None
+        self._ds_port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _load_config(self) -> None:
+        text = self.node.fs.read(self.CONFIG_PATH)
+        self.conf = ServerXml.parse(text)
+        _, host, port, _ = parse_jdbc_url(self.conf.datasource_url)
+        self._ds_host, self._ds_port = host, port
+
+    def _endpoints(self) -> list[tuple[str, int]]:
+        assert self.conf is not None
+        return [(self.host, self.conf.http_port), (self.host, self.conf.ajp_port)]
+
+    @property
+    def ajp_port(self) -> int:
+        if self.conf is None:
+            raise ServerNotRunning(f"{self.name}: not configured")
+        return self.conf.ajp_port
+
+    # ------------------------------------------------------------------
+    def handle(self, request: WebRequest) -> None:
+        """Serve a dynamic request end-to-end; completes (or fails) the
+        request's completion signal."""
+        if not self.running:
+            request.fail(self.kernel, f"{self.name} is not running")
+            return
+        if not self._admit():
+            request.fail(self.kernel, f"{self.name}: 503 all threads busy")
+            return
+        request.trace(self.name)
+        self._begin()
+        self._run_then(
+            request.app_demand_pre,
+            lambda: self._query_db(request),
+            lambda err: self._abort(request, f"servlet aborted: {err}"),
+        )
+
+    def _query_db(self, request: WebRequest) -> None:
+        if request.db_demand <= 0.0:
+            self._respond(request)
+            return
+        try:
+            datasource = self.directory.lookup(self._ds_host, self._ds_port)
+        except EndpointNotFound:
+            self._abort(request, "datasource connection refused")
+            return
+        sig: Signal = datasource.execute(request)
+
+        def _db_done(s: Signal) -> None:
+            if s.error is not None:
+                self._abort(request, f"SQL error: {s.error}")
+            else:
+                self._respond(request)
+
+        sig.add_callback(_db_done)
+
+    def _respond(self, request: WebRequest) -> None:
+        self._run_then(
+            request.app_demand_post,
+            lambda: self._finish(request),
+            lambda err: self._abort(request, f"response generation aborted: {err}"),
+        )
+
+    def _finish(self, request: WebRequest) -> None:
+        self._end()
+        request.complete(self.kernel)
+
+    def _abort(self, request: WebRequest, reason: str) -> None:
+        self._end(ok=False)
+        request.fail(self.kernel, f"{self.name}: {reason}")

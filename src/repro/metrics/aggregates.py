@@ -1,0 +1,95 @@
+"""Aggregation used by the sensors.
+
+"This probe computes a moving average of the collected data in order to
+remove artifacts characterizing the CPU consumption.  It finally computes an
+average CPU load across all nodes" (§4.1): a *temporal* moving average
+(:class:`MovingAverage`) composed with a *spatial* average
+(:func:`spatial_average`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class MovingAverage:
+    """Time-windowed moving average over irregular samples.
+
+    Keeps samples newer than ``window_s`` and returns their arithmetic mean
+    (the paper's averaging over "the last 60 seconds" of 1 Hz samples).
+    """
+
+    def __init__(self, window_s: float) -> None:
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = window_s
+        self._samples: deque[tuple[float, float]] = deque()
+        self._sum = 0.0
+
+    def add(self, t: float, value: float) -> float:
+        """Add a sample and return the current average."""
+        self._samples.append((t, value))
+        self._sum += value
+        self._evict(t)
+        return self.value
+
+    def age(self, now: float) -> float:
+        """Evict samples that have fallen out of the window as of ``now``
+        without adding a new one; returns the current average."""
+        self._evict(now)
+        return self.value
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window_s
+        samples = self._samples
+        while samples and samples[0][0] <= cutoff:
+            _, v = samples.popleft()
+            self._sum -= v
+
+    @property
+    def value(self) -> float:
+        """Current average (NaN when no samples are in the window)."""
+        if not self._samples:
+            return float("nan")
+        return self._sum / len(self._samples)
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._sum = 0.0
+
+
+def spatial_average(values: Iterable[float]) -> float:
+    """Mean across nodes; NaN for an empty tier."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    return float(arr.mean())
+
+
+def summarize(values: Iterable[float]) -> dict[str, float]:
+    """Summary statistics used in benchmark tables."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {
+            "count": 0,
+            "mean": float("nan"),
+            "p50": float("nan"),
+            "p95": float("nan"),
+            "p99": float("nan"),
+            "max": float("nan"),
+        }
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }

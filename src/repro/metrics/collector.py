@@ -1,0 +1,97 @@
+"""Experiment-wide metrics collector.
+
+One :class:`MetricsCollector` per experiment run gathers everything the
+paper's figures and tables are built from:
+
+* per-request latencies (Figures 8 & 9);
+* per-tier smoothed CPU utilization (Figures 6 & 7);
+* per-tier replica counts (Figure 5);
+* workload level (active emulated clients);
+* throughput, and node CPU/memory samples (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.metrics.aggregates import summarize
+from repro.metrics.series import StepSeries, TimeSeries
+
+
+class MetricsCollector:
+    """Append-only sink for experiment measurements."""
+
+    def __init__(self) -> None:
+        self.latencies = TimeSeries("latency_s")          # (completion t, latency)
+        self.failures = TimeSeries("failures")            # (t, 1.0) per failed req
+        self.workload = StepSeries("active_clients")      # emulated client count
+        self.tier_cpu: dict[str, TimeSeries] = {}         # smoothed CPU per tier
+        self.tier_cpu_raw: dict[str, TimeSeries] = {}     # spatial avg, unsmoothed
+        self.tier_replicas: dict[str, StepSeries] = {}    # replica count per tier
+        self.node_cpu = TimeSeries("node_cpu")            # all-node CPU samples
+        self.node_memory = TimeSeries("node_memory")      # all-node memory samples
+        self.reconfigurations: list[tuple[float, str]] = []
+        self.completed_requests = 0
+        self.failed_requests = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_latency(self, t: float, latency_s: float) -> None:
+        self.completed_requests += 1
+        self.latencies.append(t, latency_s)
+
+    def record_failure(self, t: float) -> None:
+        self.failed_requests += 1
+        self.failures.append(t, 1.0)
+
+    def record_workload(self, t: float, clients: int) -> None:
+        self.workload.set(t, float(clients))
+
+    def record_tier_cpu(self, tier: str, t: float, smoothed: float, raw: float) -> None:
+        self.tier_cpu.setdefault(tier, TimeSeries(f"cpu[{tier}]")).append(t, smoothed)
+        self.tier_cpu_raw.setdefault(tier, TimeSeries(f"cpu_raw[{tier}]")).append(t, raw)
+
+    def record_replicas(self, tier: str, t: float, count: int) -> None:
+        series = self.tier_replicas.get(tier)
+        if series is None:
+            series = StepSeries(f"replicas[{tier}]", initial=float(count))
+            self.tier_replicas[tier] = series
+        else:
+            series.set(t, float(count))
+
+    def record_node_sample(self, t: float, cpu: float, memory: float) -> None:
+        self.node_cpu.append(t, cpu)
+        self.node_memory.append(t, memory)
+
+    def record_reconfiguration(self, t: float, description: str) -> None:
+        self.reconfigurations.append((t, description))
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def latency_summary(self) -> dict[str, float]:
+        return summarize(self.latencies.values)
+
+    def throughput(self, t_start: float, t_end: float) -> float:
+        """Completed requests per second over [t_start, t_end)."""
+        if t_end <= t_start:
+            raise ValueError("empty interval")
+        t = self.latencies.times
+        n = int(np.count_nonzero((t >= t_start) & (t < t_end)))
+        return n / (t_end - t_start)
+
+    def latency_buckets(self, width: float, t_end: Optional[float] = None) -> TimeSeries:
+        return self.latencies.bucket_mean(width, t_end)
+
+    def replica_changes(self, tier: str) -> list[tuple[float, float]]:
+        series = self.tier_replicas.get(tier)
+        return series.changes if series is not None else []
+
+    def error_rate(self) -> float:
+        total = self.completed_requests + self.failed_requests
+        if total == 0:
+            return 0.0
+        return self.failed_requests / total

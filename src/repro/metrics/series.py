@@ -1,0 +1,139 @@
+"""Time-series containers.
+
+Append-heavy Python lists internally; NumPy views on demand (the guides'
+rule: simple code on the hot path, vectorized math at analysis time).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+class TimeSeries:
+    """A sampled series of (time, value) points, appended in time order."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._t: list[float] = []
+        self._v: list[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        if self._t and t < self._t[-1]:
+            raise ValueError(
+                f"{self.name or 'series'}: non-monotonic append "
+                f"({t} after {self._t[-1]})"
+            )
+        self._t.append(t)
+        self._v.append(value)
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._t, self._v))
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._t, dtype=np.float64)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._v, dtype=np.float64)
+
+    def last(self) -> Optional[tuple[float, float]]:
+        if not self._t:
+            return None
+        return self._t[-1], self._v[-1]
+
+    def tail_since(self, index: int) -> list[tuple[float, float]]:
+        """Samples appended at or after ``index`` — an O(new) incremental
+        read for periodic consumers (avoids re-materializing the full
+        arrays every poll)."""
+        return list(zip(self._t[index:], self._v[index:]))
+
+    def bucket_mean(self, width: float, t_end: Optional[float] = None) -> "TimeSeries":
+        """Resample into fixed-width buckets (mean of samples per bucket);
+        empty buckets are skipped.  Used to print figure series compactly."""
+        if width <= 0:
+            raise ValueError("bucket width must be positive")
+        out = TimeSeries(f"{self.name}/bucket{width:g}")
+        if not self._t:
+            return out
+        t = self.times
+        v = self.values
+        stop = t_end if t_end is not None else float(t[-1])
+        edges = np.arange(0.0, stop + width, width)
+        idx = np.digitize(t, edges) - 1
+        for b in np.unique(idx):
+            mask = idx == b
+            out.append(float(edges[b] + width / 2.0), float(v[mask].mean()))
+        return out
+
+    def window(self, t0: float, t1: float) -> "TimeSeries":
+        """Sub-series with t0 <= t < t1."""
+        out = TimeSeries(f"{self.name}/window")
+        for t, v in zip(self._t, self._v):
+            if t0 <= t < t1:
+                out.append(t, v)
+        return out
+
+    def mean(self) -> float:
+        if not self._v:
+            return float("nan")
+        return float(np.mean(self._v))
+
+    def max(self) -> float:
+        if not self._v:
+            return float("nan")
+        return float(np.max(self._v))
+
+
+class StepSeries:
+    """A piecewise-constant series (replica counts, node counts): records
+    value *changes* and can be queried at any time."""
+
+    def __init__(self, name: str = "", initial: float = 0.0) -> None:
+        self.name = name
+        self._t: list[float] = [0.0]
+        self._v: list[float] = [initial]
+
+    def set(self, t: float, value: float) -> None:
+        if t < self._t[-1]:
+            raise ValueError(f"{self.name or 'step series'}: non-monotonic set")
+        if value == self._v[-1]:
+            return
+        self._t.append(t)
+        self._v.append(value)
+
+    def value_at(self, t: float) -> float:
+        i = int(np.searchsorted(np.asarray(self._t), t, side="right")) - 1
+        return self._v[max(i, 0)]
+
+    @property
+    def changes(self) -> list[tuple[float, float]]:
+        return list(zip(self._t, self._v))
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation at the given times."""
+        ts = np.asarray(self._t)
+        vs = np.asarray(self._v)
+        idx = np.clip(np.searchsorted(ts, times, side="right") - 1, 0, len(vs) - 1)
+        return vs[idx]
+
+    def max(self) -> float:
+        return float(np.max(self._v))
+
+    def time_weighted_mean(self, t_end: float) -> float:
+        """Mean value over [0, t_end], weighting by how long each level
+        held — e.g. the average number of allocated nodes."""
+        ts = np.append(np.asarray(self._t, dtype=float), t_end)
+        vs = np.asarray(self._v, dtype=float)
+        durations = np.diff(ts)
+        if durations.sum() <= 0:
+            return float(vs[-1])
+        return float((vs * durations).sum() / durations.sum())
+
+    def __len__(self) -> int:
+        return len(self._t)

@@ -1,0 +1,217 @@
+"""Discrete-event simulation kernel.
+
+A minimal, fast event kernel: a binary heap of timestamped callbacks with a
+monotonically increasing sequence number for deterministic FIFO tie-breaking.
+Everything in the reproduction (servers, probes, control loops, clients)
+schedules work through one :class:`SimKernel` instance, so a fixed random
+seed reproduces a run event-for-event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, running twice...)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`SimKernel.schedule` and can be cancelled
+    with :meth:`cancel` (cancellation is O(1): the entry is tombstoned and
+    skipped when popped).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; idempotent."""
+        self.cancelled = True
+        self.fn = None  # drop references early
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class SimKernel:
+    """The event loop.
+
+    Time is a float in *seconds* of simulated time, starting at 0.0.
+
+    Example
+    -------
+    >>> k = SimKernel()
+    >>> out = []
+    >>> _ = k.schedule(1.5, out.append, "a")
+    >>> _ = k.schedule(0.5, out.append, "b")
+    >>> k.run()
+    >>> out
+    ['b', 'a']
+    >>> k.now
+    1.5
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        ev = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time (after pending events
+        already scheduled for this instant)."""
+        return self.schedule_at(self._now, fn, *args)
+
+    def every(
+        self,
+        period: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        start: Optional[float] = None,
+    ) -> "PeriodicTask":
+        """Run ``fn(*args)`` every ``period`` seconds until cancelled.
+
+        ``start`` is the absolute time of the first firing (defaults to
+        ``now + period``).
+        """
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        return PeriodicTask(self, period, fn, args, start)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event. Returns False when the queue is empty."""
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            fn, args = ev.fn, ev.args
+            ev.fn, ev.args = None, ()
+            assert fn is not None
+            fn(*args)
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until the queue drains or simulated time reaches
+        ``until`` (events at exactly ``until`` are executed; time is advanced
+        to ``until`` even if the queue drains earlier)."""
+        if self._running:
+            raise SimulationError("kernel is already running")
+        self._running = True
+        self._stopped = False
+        heap = self._heap
+        try:
+            while heap and not self._stopped:
+                ev = heap[0]
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(heap)
+                if ev.cancelled:
+                    continue
+                self._now = ev.time
+                fn, args = ev.fn, ev.args
+                ev.fn, ev.args = None, ()
+                assert fn is not None
+                fn(*args)
+                self.events_processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event returns."""
+        self._stopped = True
+
+
+class PeriodicTask:
+    """A self-rescheduling task created by :meth:`SimKernel.every`."""
+
+    __slots__ = ("_kernel", "period", "_fn", "_args", "_event", "_cancelled", "fired")
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        period: float,
+        fn: Callable[..., Any],
+        args: tuple,
+        start: Optional[float],
+    ) -> None:
+        self._kernel = kernel
+        self.period = period
+        self._fn = fn
+        self._args = args
+        self._cancelled = False
+        self.fired = 0
+        first = kernel.now + period if start is None else start
+        self._event = kernel.schedule_at(first, self._tick)
+
+    def _tick(self) -> None:
+        if self._cancelled:
+            return
+        self.fired += 1
+        self._fn(*self._args)
+        if not self._cancelled:
+            self._event = self._kernel.schedule(self.period, self._tick)
+
+    def cancel(self) -> None:
+        """Stop future firings; idempotent."""
+        self._cancelled = True
+        self._event.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled

@@ -1,0 +1,337 @@
+"""CPU resource models.
+
+A simulated server consumes CPU on its node for every request it handles.
+Two queueing disciplines are provided behind one interface:
+
+* :class:`PsCpu` — egalitarian **processor sharing**, the standard model for
+  a time-sliced CPU serving many concurrent request threads.  Implemented
+  with the classic *virtual time* technique, O(log n) per arrival/departure.
+* :class:`FifoCpu` — a single-server FIFO queue (M/G/1 when fed by Poisson
+  arrivals), O(1) per event; cheaper, and adequate when per-request latency
+  distribution is not under study.
+
+Both track cumulative *busy time*, which is exactly the signal the paper's
+probes sample: CPU utilization over the last second, averaged spatially over
+the tier and temporally by a moving average.
+
+Thrashing
+---------
+``Figure 8`` of the paper shows latencies of hundreds of seconds when the
+static (unmanaged) database saturates — the authors call it "a thrashing of
+the database".  Pure queueing saturation cannot produce that shape in a
+closed-loop system (response time would plateau around
+``N / X_max - think``).  We model thrashing explicitly: beyond a concurrency
+knee the *effective capacity* of the resource decays
+(:class:`ThrashingCurve`), representing memory pressure, lock convoys and
+context-switch overhead.  The managed system never enters that regime, so
+the model only affects the static baseline — as in the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Callable, Optional
+
+from repro.simulation.kernel import Event, SimKernel
+from repro.simulation.process import Signal
+
+CapacityModel = Callable[[int], float]
+
+
+def constant_capacity(n: int) -> float:
+    """Capacity model of an ideal CPU: full speed at any concurrency."""
+    return 1.0
+
+
+class ThrashingCurve:
+    """Effective capacity decays beyond a concurrency knee.
+
+    ``capacity(n) = 1                          for n <= knee``
+    ``capacity(n) = 1 / (1 + slope*(n - knee)) for n >  knee``
+
+    with an optional ``floor`` so the resource never fully stalls.
+    """
+
+    def __init__(self, knee: int = 32, slope: float = 0.05, floor: float = 0.05):
+        if knee < 0:
+            raise ValueError("knee must be >= 0")
+        if slope < 0:
+            raise ValueError("slope must be >= 0")
+        if not 0.0 < floor <= 1.0:
+            raise ValueError("floor must be in (0, 1]")
+        self.knee = knee
+        self.slope = slope
+        self.floor = floor
+
+    def __call__(self, n: int) -> float:
+        if n <= self.knee:
+            return 1.0
+        return max(self.floor, 1.0 / (1.0 + self.slope * (n - self.knee)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ThrashingCurve(knee={self.knee}, slope={self.slope}, floor={self.floor})"
+
+
+class CpuJob:
+    """A unit of CPU work submitted to a resource.
+
+    ``demand`` is expressed in seconds of CPU time *at full speed*; the
+    resource's ``speed`` factor and capacity model determine how long the job
+    actually takes.  ``done`` fires with the job when service completes.
+    """
+
+    __slots__ = ("demand", "done", "tag", "submitted_at", "completed_at", "_vfinish")
+
+    def __init__(self, kernel: SimKernel, demand: float, tag: object = None):
+        if demand < 0:
+            raise ValueError("demand must be >= 0")
+        self.demand = demand
+        self.done = Signal(kernel)
+        self.tag = tag
+        self.submitted_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self._vfinish = 0.0
+
+    @property
+    def sojourn(self) -> Optional[float]:
+        """Queueing + service time, once completed."""
+        if self.completed_at is None or self.submitted_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+
+class ResourceStopped(RuntimeError):
+    """Raised to jobs aborted because their resource was shut down."""
+
+
+class CpuResource:
+    """Common bookkeeping for CPU models (busy time, counters)."""
+
+    def __init__(self, kernel: SimKernel, speed: float = 1.0, name: str = "cpu"):
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.kernel = kernel
+        self.speed = speed
+        self.name = name
+        self.busy_integral = 0.0  # cumulative seconds with >=1 active job
+        self.completed = 0
+        self.service_delivered = 0.0  # cumulative CPU-seconds of demand served
+        self._last_update = kernel.now
+
+    # -- interface -----------------------------------------------------
+    @property
+    def active_jobs(self) -> int:
+        raise NotImplementedError
+
+    def submit(self, job: CpuJob) -> CpuJob:
+        raise NotImplementedError
+
+    def abort_all(self, error: Optional[BaseException] = None) -> int:
+        raise NotImplementedError
+
+    # -- utilization sampling -------------------------------------------
+    def busy_time(self) -> float:
+        """Cumulative busy time up to the current instant."""
+        self._advance_accounting()
+        return self.busy_integral
+
+    def _advance_accounting(self) -> None:
+        now = self.kernel.now
+        if now > self._last_update:
+            if self.active_jobs > 0:
+                self.busy_integral += now - self._last_update
+            self._last_update = now
+
+
+class PsCpu(CpuResource):
+    """Processor-sharing CPU with optional capacity degradation.
+
+    With ``n`` active jobs each job is served at rate
+    ``speed * capacity(n) / n``.  Virtual time ``V`` advances at that rate;
+    a job of demand ``d`` arriving when virtual time is ``V0`` finishes when
+    ``V`` reaches ``V0 + d``.  A heap keyed on finish virtual time yields the
+    next completion in O(log n).
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        speed: float = 1.0,
+        capacity_model: CapacityModel = constant_capacity,
+        name: str = "cpu",
+    ):
+        super().__init__(kernel, speed, name)
+        self.capacity_model = capacity_model
+        self._vnow = 0.0
+        self._vlast = kernel.now  # real time of last virtual-time update
+        self._heap: list[tuple[float, int, CpuJob]] = []
+        self._seq = itertools.count()
+        self._live = 0  # non-aborted entries in the heap
+        self._completion_event: Optional[Event] = None
+
+    @property
+    def active_jobs(self) -> int:
+        return self._live
+
+    def _rate(self) -> float:
+        """Virtual-time advance rate (per-job service rate), 0 when idle."""
+        n = self._live
+        if n == 0:
+            return 0.0
+        return self.speed * self.capacity_model(n) / n
+
+    def _advance_virtual(self) -> None:
+        now = self.kernel.now
+        if now > self._vlast:
+            self._vnow += (now - self._vlast) * self._rate()
+        self._vlast = now
+
+    def submit(self, job: CpuJob) -> CpuJob:
+        """Add a job to the shared processor.  ``job.done`` fires on
+        completion.  Zero-demand jobs complete immediately."""
+        self._advance_accounting()
+        self._advance_virtual()
+        job.submitted_at = self.kernel.now
+        if job.demand == 0.0:
+            job.completed_at = self.kernel.now
+            self.completed += 1
+            job.done.succeed(job)
+            return job
+        job._vfinish = self._vnow + job.demand
+        heapq.heappush(self._heap, (job._vfinish, next(self._seq), job))
+        self._live += 1
+        self._reschedule_completion()
+        return job
+
+    def _reschedule_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        # Drop any aborted entries sitting at the top of the heap.
+        while self._heap and self._heap[0][2].done.fired:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return
+        rate = self._rate()
+        assert rate > 0.0, "live jobs but zero rate"
+        vfinish = self._heap[0][0]
+        delay = max(0.0, (vfinish - self._vnow) / rate)
+        self._completion_event = self.kernel.schedule(delay, self._complete_next)
+
+    def _complete_next(self) -> None:
+        self._completion_event = None
+        self._advance_accounting()
+        self._advance_virtual()
+        # Complete every job whose virtual finish time has been reached
+        # (simultaneous completions happen with equal demands).
+        eps = 1e-9 * max(1.0, abs(self._vnow))
+        while self._heap and self._heap[0][0] <= self._vnow + eps:
+            _, _, job = heapq.heappop(self._heap)
+            if job.done.fired:  # aborted entry
+                continue
+            self._live -= 1
+            job.completed_at = self.kernel.now
+            self.completed += 1
+            self.service_delivered += job.demand
+            job.done.succeed(job)
+        self._reschedule_completion()
+
+    def abort_all(self, error: Optional[BaseException] = None) -> int:
+        """Fail every in-flight job (e.g. the hosting server crashed).
+
+        Returns the number of jobs aborted.
+        """
+        self._advance_accounting()
+        self._advance_virtual()
+        err = error if error is not None else ResourceStopped(self.name)
+        aborted = 0
+        for _, _, job in self._heap:
+            if not job.done.fired:
+                job.done.fail(err)
+                aborted += 1
+        self._heap.clear()
+        self._live = 0
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        return aborted
+
+
+class FifoCpu(CpuResource):
+    """Single-server FIFO queue.
+
+    The job at the head of the queue is served at rate
+    ``speed * capacity(n)`` where ``n`` is the queue length *at service
+    start* (capacity is not re-evaluated mid-service; thrashing studies
+    should use :class:`PsCpu`).
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        speed: float = 1.0,
+        capacity_model: CapacityModel = constant_capacity,
+        name: str = "cpu",
+    ):
+        super().__init__(kernel, speed, name)
+        self.capacity_model = capacity_model
+        self._queue: deque[CpuJob] = deque()
+        self._in_service: Optional[CpuJob] = None
+        self._completion_event: Optional[Event] = None
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._queue) + (1 if self._in_service is not None else 0)
+
+    def submit(self, job: CpuJob) -> CpuJob:
+        self._advance_accounting()
+        job.submitted_at = self.kernel.now
+        if job.demand == 0.0:
+            job.completed_at = self.kernel.now
+            self.completed += 1
+            job.done.succeed(job)
+            return job
+        self._queue.append(job)
+        if self._in_service is None:
+            self._start_next()
+        return job
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            return
+        job = self._queue.popleft()
+        self._in_service = job
+        rate = self.speed * self.capacity_model(self.active_jobs)
+        service_time = job.demand / rate
+        self._completion_event = self.kernel.schedule(
+            service_time, self._complete, job
+        )
+
+    def _complete(self, job: CpuJob) -> None:
+        self._advance_accounting()
+        self._completion_event = None
+        self._in_service = None
+        job.completed_at = self.kernel.now
+        self.completed += 1
+        self.service_delivered += job.demand
+        job.done.succeed(job)
+        self._start_next()
+
+    def abort_all(self, error: Optional[BaseException] = None) -> int:
+        self._advance_accounting()
+        err = error if error is not None else ResourceStopped(self.name)
+        aborted = 0
+        if self._in_service is not None:
+            self._in_service.done.fail(err)
+            self._in_service = None
+            aborted += 1
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        for job in self._queue:
+            job.done.fail(err)
+            aborted += 1
+        self._queue.clear()
+        return aborted

@@ -1,0 +1,88 @@
+"""Service-demand calibration.
+
+The paper's absolute numbers depend on its 2006-era hardware; what must be
+preserved is the *operating-point structure* of the closed-loop system.
+With ``N`` clients, think time ``Z`` and response time ``R``, throughput is
+``X = N / (Z + R)`` (interactive response-time law).  A tier with ``k``
+replicas and per-request demand ``d`` runs at utilization ``U = X * d / k``
+(reads load one replica; full-mirrored writes load all of them).
+
+Solving for the paper's events with the thresholds (max = 0.80):
+
+* Table 1: at N = 80, X ≈ 12 req/s ⇒ Z ≈ 80/12 − R ≈ 6.5 s.
+* Fig. 5: DB tier scales 1→2 near N ≈ 180 ⇒ X ≈ 28 ⇒ effective DB demand
+  ``0.85·d_read + 0.15·d_write ≈ 0.8/28 ≈ 28 ms``; with a 15 % write mix,
+  ``d_read = 30 ms`` and ``d_write = 15 ms`` give 28.8 ms.
+* Fig. 5: app tier scales 1→2 near N ≈ 420 ⇒ X ≈ 62 ⇒
+  ``d_app ≈ 0.8/62 ≈ 13 ms`` (split 11 ms servlet + 2 ms page generation).
+* DB tier scales 2→3 near X ≈ 53 (N ≈ 350) — the paper saw ≈ 320; and at
+  N = 500 three backends run at ≈ 0.79 < 0.80, so the peak configuration
+  (2 Tomcat + 3 MySQL) absorbs the full load, as in the paper.
+
+Per-interaction demands are these means scaled by relative weights (a
+search is heavier than Home); the mix-weighted means equal the calibrated
+values (asserted by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """All tunable constants of the workload/capacity model."""
+
+    # Closed-loop client behaviour
+    think_time_mean_s: float = 6.5
+
+    # Mean service demands (seconds of CPU at unit node speed)
+    app_demand_pre_s: float = 0.011      # servlet execution before the query
+    app_demand_post_s: float = 0.002     # response generation after the query
+    db_read_demand_s: float = 0.030
+    db_write_demand_s: float = 0.015
+    static_demand_s: float = 0.002       # static document (Apache tier)
+
+    # Fraction of client requests that target static documents (0 in the
+    # paper's servlets-only evaluation; used by the three-tier extension)
+    static_fraction: float = 0.0
+
+    # Demand variability: demands are Gamma-distributed with this shape
+    # (shape 4 => coefficient of variation 0.5); None disables variability.
+    demand_gamma_shape: float = 4.0
+
+    # Write fraction targeted by the interaction mix (RUBiS bidding mix)
+    write_fraction: float = 0.15
+
+    # Thrashing regime of the database nodes (drives Fig. 8's collapse);
+    # tuned so the static run's average latency lands near the paper's
+    # 10.42 s with peaks of a few hundred seconds
+    db_thrash_knee: int = 40
+    db_thrash_slope: float = 0.015
+    db_thrash_floor: float = 0.15
+
+    # Memory model (MB) — Table 1 reports ~17.5 % memory without Jade and
+    # ~20.1 % with Jade's management components deployed on every node
+    node_memory_mb: float = 1024.0
+    node_base_os_mb: float = 96.0
+    per_job_mb: float = 1.5
+    jade_mgmt_footprint_mb: float = 26.0   # per-node management components
+
+    # Jade probe cost: CPU consumed on each managed node per 1 s sample.
+    # "Jade does not induce a perceptible overhead on CPU usage" — the probe
+    # is lightweight but not free.
+    probe_demand_s: float = 0.0004
+
+    def effective_db_demand(self) -> float:
+        """Mix-weighted demand one query places on the whole DB tier when a
+        single backend serves it."""
+        return (
+            (1.0 - self.write_fraction) * self.db_read_demand_s
+            + self.write_fraction * self.db_write_demand_s
+        )
+
+    def app_demand_total(self) -> float:
+        return self.app_demand_pre_s + self.app_demand_post_s
+
+
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,172 @@
+"""Closed-loop client emulator.
+
+Reproduces RUBiS's benchmarking tool: each emulated client alternates
+between an exponential *think time* and one web interaction, waiting for
+the response before thinking again (closed loop).  A population controller
+activates/deactivates clients to follow the configured
+:class:`~repro.workload.profiles.WorkloadProfile`.
+
+Closed-loop behaviour is essential to the reproduction: it is what couples
+response time back into offered load (throughput saturates instead of the
+system melting instantly), which shapes Figures 8 and 9.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.legacy.requests import WebRequest
+from repro.metrics.collector import MetricsCollector
+from repro.simulation.kernel import PeriodicTask, SimKernel
+from repro.simulation.process import Process, sleep, wait
+from repro.simulation.rng import RngStreams
+from repro.workload.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.workload.profiles import WorkloadProfile
+from repro.workload.rubis import MixNavigator, RubisModel
+
+EntryPoint = Callable[[WebRequest], None]
+
+
+class _Client:
+    """One emulated browser session."""
+
+    __slots__ = ("client_id", "active", "process")
+
+    def __init__(self, client_id: int):
+        self.client_id = client_id
+        self.active = True
+        self.process: Optional[Process] = None
+
+
+class ClientEmulator:
+    """Drives a population of emulated clients against an entry point.
+
+    ``entry`` is any callable accepting a :class:`WebRequest` — typically
+    the ``handle`` method of the front load balancer.
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        entry: EntryPoint,
+        profile: WorkloadProfile,
+        collector: MetricsCollector,
+        streams: RngStreams,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        navigator_factory: Optional[Callable[[int], object]] = None,
+        adjust_period_s: float = 1.0,
+        request_timeout_s: Optional[float] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.entry = entry
+        self.profile = profile
+        self.collector = collector
+        self.streams = streams
+        self.cal = calibration
+        self.model = RubisModel(kernel, calibration, streams.get("rubis-demands"))
+        self._navigator_factory = navigator_factory or (
+            lambda cid: MixNavigator(streams.get(f"client-nav-{cid}"))
+        )
+        self.adjust_period_s = adjust_period_s
+        #: when set, a browser gives up on a request after this many
+        #: seconds (abandonment); the request is recorded as failed.  None
+        #: reproduces the paper's patient emulator (Figure 8 shows waits of
+        #: hundreds of seconds, so RUBiS clients clearly did not abandon).
+        self.request_timeout_s = request_timeout_s
+        self.abandoned = 0
+        self._clients: list[_Client] = []
+        self._next_client_id = 0
+        self._task: Optional[PeriodicTask] = None
+        self.requests_issued = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active_clients(self) -> int:
+        return sum(1 for c in self._clients if c.active)
+
+    def start(self) -> None:
+        """Spawn the initial population and the profile follower."""
+        self._adjust()
+        self._task = self.kernel.every(self.adjust_period_s, self._adjust)
+
+    def stop(self) -> None:
+        """Deactivate everything (clients finish their current request)."""
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        for client in self._clients:
+            client.active = False
+
+    # ------------------------------------------------------------------
+    def _adjust(self) -> None:
+        target = self.profile.clients_at(self.kernel.now)
+        current = self.active_clients
+        if target > current:
+            for _ in range(target - current):
+                self._spawn_client()
+        elif target < current:
+            # Deactivate the most recently started clients first.
+            to_stop = current - target
+            for client in reversed(self._clients):
+                if to_stop == 0:
+                    break
+                if client.active:
+                    client.active = False
+                    to_stop -= 1
+        self.collector.record_workload(self.kernel.now, self.active_clients)
+
+    def _spawn_client(self) -> None:
+        cid = self._next_client_id
+        self._next_client_id += 1
+        client = _Client(cid)
+        self._clients.append(client)
+        client.process = Process(
+            self.kernel, self._session(client), name=f"client-{cid}"
+        )
+
+    def _session(self, client: _Client):
+        """The client loop: think, request, wait, repeat."""
+        rng = self.streams.get(f"client-think-{client.client_id}")
+        navigator = self._navigator_factory(client.client_id)
+        while client.active:
+            think = float(rng.exponential(self.cal.think_time_mean_s))
+            yield sleep(think)
+            if not client.active:
+                break
+            if (
+                self.cal.static_fraction > 0.0
+                and rng.random() < self.cal.static_fraction
+            ):
+                request = WebRequest(
+                    self.kernel,
+                    "StaticDocument",
+                    is_static=True,
+                    static_demand=self.model._vary(self.cal.static_demand_s),
+                    client_id=client.client_id,
+                )
+            else:
+                inter = navigator.next_interaction()
+                request = self.model.make_request(inter, client_id=client.client_id)
+            self.requests_issued += 1
+            self.entry(request)
+            timeout_event = None
+            if self.request_timeout_s is not None:
+
+                def abandon(req=request):
+                    self.abandoned += 1
+                    req.fail(self.kernel, "client timeout")
+
+                timeout_event = self.kernel.schedule(
+                    self.request_timeout_s, abandon
+                )
+            try:
+                yield wait(request.completion)
+            except Exception:
+                self.collector.record_failure(self.kernel.now)
+                continue
+            finally:
+                if timeout_event is not None:
+                    timeout_event.cancel()
+            latency = request.latency
+            assert latency is not None
+            self.collector.record_latency(self.kernel.now, latency)

@@ -1,0 +1,144 @@
+"""Workload profiles: the number of emulated clients as a function of time.
+
+The paper's scenario (§5.2): "(i) at the beginning of the experiment, the
+managed system is submitted to a medium workload: 80 emulated clients; then
+(ii) the load increases progressively up to 500 emulated clients: 21 new
+emulated clients every minute; finally (iii) the load decreases
+symmetrically down to the initial load (80 clients)."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class WorkloadProfile:
+    """Base class: integer client population at any simulated time."""
+
+    def clients_at(self, t: float) -> int:
+        raise NotImplementedError
+
+    @property
+    def duration_s(self) -> float:
+        """Total scenario length."""
+        raise NotImplementedError
+
+    def peak(self) -> int:
+        """Maximum population over the scenario (default: scan)."""
+        return max(self.clients_at(t) for t in _scan_times(self.duration_s))
+
+
+def _scan_times(duration: float, step: float = 10.0):
+    t = 0.0
+    while t <= duration:
+        yield t
+        t += step
+
+
+class ConstantProfile(WorkloadProfile):
+    """A flat population (Table 1's medium-workload run)."""
+
+    def __init__(self, clients: int, duration_s: float) -> None:
+        if clients < 0 or duration_s <= 0:
+            raise ValueError("bad profile parameters")
+        self.clients = clients
+        self._duration = duration_s
+
+    def clients_at(self, t: float) -> int:
+        return self.clients if 0.0 <= t <= self._duration else 0
+
+    @property
+    def duration_s(self) -> float:
+        return self._duration
+
+    def peak(self) -> int:
+        return self.clients
+
+
+class RampProfile(WorkloadProfile):
+    """The paper's trapezoid: warmup at base, staircase up, staircase down,
+    cooldown at base."""
+
+    def __init__(
+        self,
+        base: int = 80,
+        peak: int = 500,
+        step_clients: int = 21,
+        step_period_s: float = 60.0,
+        warmup_s: float = 300.0,
+        hold_s: float = 0.0,
+        cooldown_s: float = 300.0,
+    ) -> None:
+        if peak < base or base < 0:
+            raise ValueError("need peak >= base >= 0")
+        if step_clients <= 0 or step_period_s <= 0:
+            raise ValueError("ramp step must be positive")
+        self.base = base
+        self.peak_clients = peak
+        self.step_clients = step_clients
+        self.step_period_s = step_period_s
+        self.warmup_s = warmup_s
+        self.hold_s = hold_s
+        self.cooldown_s = cooldown_s
+        import math
+
+        self.steps = math.ceil((peak - base) / step_clients)
+        self.ramp_s = self.steps * step_period_s
+
+    def clients_at(self, t: float) -> int:
+        if t < 0.0:
+            return 0
+        if t < self.warmup_s:
+            return self.base
+        t -= self.warmup_s
+        if t < self.ramp_s:
+            k = int(t // self.step_period_s) + 1
+            return min(self.peak_clients, self.base + k * self.step_clients)
+        t -= self.ramp_s
+        if t < self.hold_s:
+            return self.peak_clients
+        t -= self.hold_s
+        if t < self.ramp_s:
+            # Mirror of the ascent: clients_at(mid + dt) == clients_at(mid - dt)
+            # ("the load decreases symmetrically" — §5.2).
+            k = int((self.ramp_s - t) // self.step_period_s) + 1
+            return min(self.peak_clients, self.base + k * self.step_clients)
+        t -= self.ramp_s
+        if t <= self.cooldown_s:
+            return self.base
+        return self.base  # profile tail stays at base
+
+    @property
+    def duration_s(self) -> float:
+        return self.warmup_s + 2 * self.ramp_s + self.hold_s + self.cooldown_s
+
+    def peak(self) -> int:
+        return self.peak_clients
+
+
+class PiecewiseProfile(WorkloadProfile):
+    """Arbitrary step profile given as (start_time, clients) breakpoints."""
+
+    def __init__(self, breakpoints: Sequence[tuple[float, int]], duration_s: float):
+        if not breakpoints:
+            raise ValueError("need at least one breakpoint")
+        pts = sorted(breakpoints)
+        if pts[0][0] > 0.0:
+            pts.insert(0, (0.0, 0))
+        self._pts = pts
+        self._duration = duration_s
+
+    def clients_at(self, t: float) -> int:
+        if t < 0.0 or t > self._duration:
+            return 0
+        current = self._pts[0][1]
+        for start, clients in self._pts:
+            if start <= t:
+                current = clients
+            else:
+                break
+        return current
+
+    @property
+    def duration_s(self) -> float:
+        return self._duration

@@ -1,0 +1,139 @@
+"""Apache wrapper.
+
+"The attribute controller interface is used to set attributes related to
+the local execution of the Apache server.  For instance, a modification of
+the port attribute of the Apache component is reflected in the httpd.conf
+file ... Invoking the bind operation on the Apache component sets up a
+binding between one instance of Apache and one instance of Tomcat ...
+reflected at the legacy layer in the worker.properties file ... The life
+cycle controller interface is ... implemented by calling the Apache
+commands for starting/stopping a server." (§3.2)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cluster.network import Lan
+from repro.cluster.node import Node
+from repro.fractal.component import Component
+from repro.fractal.interfaces import (
+    CLIENT,
+    COLLECTION,
+    OPTIONAL,
+    SERVER,
+    Interface,
+    InterfaceType,
+)
+from repro.legacy.apache import ApacheServer
+from repro.legacy.configfiles import HttpdConf, Worker, WorkerProperties
+from repro.legacy.directory import Directory
+from repro.simulation.kernel import SimKernel
+from repro.wrappers.base import LegacyWrapper, WrapperError
+
+HTTPD_CONF = ApacheServer.CONFIG_PATH
+WORKERS_FILE = "/etc/apache/worker.properties"
+
+
+class ApacheWrapper(LegacyWrapper):
+    """Manages one Apache httpd instance."""
+
+    startup_time_s = 1.5
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        node: Node,
+        directory: Directory,
+        lan: Optional[Lan] = None,
+    ) -> None:
+        super().__init__(kernel, node, directory, lan)
+        self._workers: dict[str, Worker] = {}  # binding instance -> worker
+
+    def attached(self, component: Component) -> None:
+        super().attached(component)
+        self.server = ApacheServer(
+            self.kernel, component.name, self.node, self.directory, self.lan
+        )
+
+    # -- uniform hooks ----------------------------------------------------
+    def on_attribute_changed(self, component: Component, name: str, value: Any) -> None:
+        if self.running and name == "port":
+            raise WrapperError(
+                f"{component.name}: changing the port requires a stop "
+                "(Apache re-reads httpd.conf only at startup)"
+            )
+        self.write_config()
+
+    def on_bind(self, component: Component, instance: str, server_itf: Interface) -> None:
+        peer = self._peer(server_itf)
+        host, port = peer.endpoint(server_itf.name)
+        self._workers[instance] = Worker(_worker_name(instance), host, port)
+        self.write_config()
+
+    def on_unbind(self, component: Component, instance: str) -> None:
+        self._workers.pop(instance, None)
+        self.write_config()
+
+    # -- wrapper contract --------------------------------------------------
+    def write_config(self) -> None:
+        conf = HttpdConf(
+            listen=int(self._attr("port", 80)),
+            server_name=str(self._attr("server_name", self.node.name)),
+            max_clients=int(self._attr("max_clients", 150)),
+            jk_workers_file=WORKERS_FILE,
+        )
+        self.node.fs.write(HTTPD_CONF, conf.render())
+        workers = WorkerProperties(list(self._workers.values()))
+        self.node.fs.write(WORKERS_FILE, workers.render())
+
+    def endpoint(self, itf_name: str) -> tuple[str, int]:
+        if itf_name != "http":
+            raise WrapperError(f"apache exposes no endpoint behind {itf_name!r}")
+        return (self.node.name, int(self._attr("port", 80)))
+
+
+def _worker_name(instance: str) -> str:
+    """A binding instance name like ``ajp-0`` maps to mod_jk worker
+    ``worker0`` (worker names must not contain dots or dashes)."""
+    suffix = instance.rsplit("-", 1)[-1] if "-" in instance else instance
+    return f"worker{suffix}"
+
+
+def make_apache_component(
+    name: str,
+    attributes: Optional[dict[str, Any]] = None,
+    *,
+    kernel: SimKernel,
+    node: Node,
+    directory: Directory,
+    lan: Optional[Lan] = None,
+    **_: Any,
+) -> Component:
+    """Factory for Apache components (registered as ADL type ``apache``).
+
+    Interfaces: ``http`` (server) — client traffic; ``ajp`` (client,
+    collection, *static*: rebinding requires a stop, like the real mod_jk).
+    """
+    wrapper = ApacheWrapper(kernel, node, directory, lan)
+    component = Component(
+        name,
+        interface_types=[
+            InterfaceType("http", "http", role=SERVER),
+            InterfaceType(
+                "ajp",
+                "ajp",
+                role=CLIENT,
+                contingency=OPTIONAL,
+                cardinality=COLLECTION,
+                dynamic=False,
+            ),
+        ],
+        content=wrapper,
+    )
+    ac = component.attribute_controller
+    ac.declare("port", int((attributes or {}).get("port", 80)))
+    ac.declare("max_clients", int((attributes or {}).get("max_clients", 150)))
+    ac.declare("server_name", str((attributes or {}).get("server_name", node.name)))
+    wrapper.write_config()
+    return component

@@ -1,0 +1,106 @@
+"""Wrapper base class.
+
+A wrapper owns one legacy server instance: it writes the server's initial
+configuration files onto the node at construction time (what the Software
+Installation Service's post-install step does on the real testbed), and
+afterwards keeps the files in sync with the component's attributes and
+bindings.  The legacy server itself only ever reads the files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cluster.network import Lan
+from repro.cluster.node import Node
+from repro.fractal.component import Component
+from repro.legacy.directory import Directory
+from repro.legacy.server import LegacyServer
+from repro.simulation.kernel import SimKernel
+
+
+class WrapperError(RuntimeError):
+    """A management operation could not be reflected onto the legacy layer."""
+
+
+class LegacyWrapper:
+    """Common wrapper machinery.
+
+    Subclasses set :attr:`server` (the legacy instance) and implement
+    :meth:`write_config` (regenerate the proprietary files from the current
+    management state) plus :meth:`endpoint` (the host:port behind a given
+    server interface, used by peers when a binding is created).
+    """
+
+    #: simulated duration of the start script (used by actuators to model
+    #: reconfiguration latency)
+    startup_time_s: float = 2.0
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        node: Node,
+        directory: Directory,
+        lan: Optional[Lan] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.node = node
+        self.directory = directory
+        self.lan = lan
+        self.server: Optional[LegacyServer] = None
+        self.component: Optional[Component] = None
+
+    # -- Fractal integration -------------------------------------------
+    def attached(self, component: Component) -> None:
+        """Called by :class:`~repro.fractal.component.Component` when the
+        wrapper becomes the content of a component."""
+        self.component = component
+
+    # -- uniform hooks (invoked by the controllers) ---------------------
+    def on_start(self, component: Component) -> None:
+        self.write_config()
+        assert self.server is not None
+        self.server.start()
+
+    def on_stop(self, component: Component) -> None:
+        assert self.server is not None
+        self.server.stop()
+
+    # -- wrapper contract ------------------------------------------------
+    def write_config(self) -> None:
+        """(Re)generate the legacy config files from management state."""
+        raise NotImplementedError
+
+    def endpoint(self, itf_name: str) -> tuple[str, int]:
+        """host:port behind the named server interface."""
+        raise NotImplementedError
+
+    def jdbc_driver(self) -> str:
+        """JDBC driver scheme peers should use to reach this component
+        (only meaningful for database-facing wrappers)."""
+        raise WrapperError(f"{type(self).__name__} is not a JDBC endpoint")
+
+    # -- conveniences ------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self.server is not None and self.server.running
+
+    def _attr(self, name: str, default: Any = None) -> Any:
+        assert self.component is not None
+        ac = self.component.attribute_controller
+        if ac.has_attribute(name):
+            return ac.get(name)
+        return default
+
+    def _peer(self, server_itf) -> "LegacyWrapper":
+        """The wrapper on the other side of a binding."""
+        delegate = server_itf.delegate
+        if not isinstance(delegate, LegacyWrapper):
+            raise WrapperError(
+                f"binding target {server_itf.qualified_name} is not a wrapper"
+            )
+        return delegate
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        comp = self.component.name if self.component else "?"
+        return f"<{type(self).__name__} for {comp} on {self.node.name}>"

@@ -1,0 +1,143 @@
+"""C-JDBC wrapper.
+
+The ``backends`` client interface is **dynamic**: binding a MySQL component
+while the controller runs performs a *live insert* — the wrapper calls the
+controller's administrative API, which replays the recovery log onto the
+new replica before enabling it (§4.1).  Unbinding performs a live detach
+with a checkpoint.  The config file is kept in sync so a controller restart
+reconstructs the same backend set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cluster.network import Lan
+from repro.cluster.node import Node
+from repro.fractal.component import Component
+from repro.fractal.interfaces import (
+    CLIENT,
+    COLLECTION,
+    MANDATORY,
+    SERVER,
+    Interface,
+    InterfaceType,
+)
+from repro.legacy.cjdbc import CJdbcController
+from repro.legacy.configfiles import CjdbcBackend, CjdbcXml
+from repro.legacy.directory import Directory
+from repro.legacy.mysql import MySqlServer
+from repro.simulation.kernel import SimKernel
+from repro.wrappers.base import LegacyWrapper, WrapperError
+from repro.wrappers.mysql import MySqlWrapper
+
+
+class CJdbcWrapper(LegacyWrapper):
+    """Manages the C-JDBC controller."""
+
+    startup_time_s = 2.5
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        node: Node,
+        directory: Directory,
+        lan: Optional[Lan] = None,
+    ) -> None:
+        super().__init__(kernel, node, directory, lan)
+        self._backends: dict[str, CjdbcBackend] = {}  # binding instance -> decl
+
+    def attached(self, component: Component) -> None:
+        super().attached(component)
+        self.server = CJdbcController(
+            self.kernel, component.name, self.node, self.directory, self.lan
+        )
+
+    @property
+    def controller(self) -> CJdbcController:
+        assert isinstance(self.server, CJdbcController)
+        return self.server
+
+    # -- uniform hooks ----------------------------------------------------
+    def on_attribute_changed(self, component: Component, name: str, value: Any) -> None:
+        if self.running and name == "port":
+            raise WrapperError(f"{component.name}: changing the port requires a stop")
+        self.write_config()
+
+    def on_bind(self, component: Component, instance: str, server_itf: Interface) -> None:
+        peer = self._peer(server_itf)
+        if not isinstance(peer, MySqlWrapper):
+            raise WrapperError(
+                f"{component.name}: backends must be MySQL components, got "
+                f"{type(peer).__name__}"
+            )
+        host, port = peer.endpoint(server_itf.name)
+        self._backends[instance] = CjdbcBackend(instance, host, port)
+        self.write_config()
+        if self.running:
+            # Live insert with recovery-log synchronization.
+            self.controller.attach_backend(instance, peer.mysql)
+
+    def on_unbind(self, component: Component, instance: str) -> None:
+        self._backends.pop(instance, None)
+        self.write_config()
+        if self.running:
+            try:
+                self.controller.detach_backend(instance)
+            except KeyError:
+                # Backend died before the unbind (crash repair path).
+                self.controller.drop_backend(instance)
+
+    # -- wrapper contract --------------------------------------------------
+    def write_config(self) -> None:
+        conf = CjdbcXml(
+            vdb_name=str(self._attr("vdb_name", "rubis")),
+            port=int(self._attr("port", 25322)),
+            policy=str(self._attr("policy", "LeastPendingRequestsFirst")),
+            backends=list(self._backends.values()),
+        )
+        self.node.fs.write(CJdbcController.CONFIG_PATH, conf.render())
+
+    def endpoint(self, itf_name: str) -> tuple[str, int]:
+        if itf_name != "jdbc":
+            raise WrapperError(f"cjdbc exposes no endpoint behind {itf_name!r}")
+        return (self.node.name, int(self._attr("port", 25322)))
+
+    def jdbc_driver(self) -> str:
+        return "cjdbc"
+
+
+def make_cjdbc_component(
+    name: str,
+    attributes: Optional[dict[str, Any]] = None,
+    *,
+    kernel: SimKernel,
+    node: Node,
+    directory: Directory,
+    lan: Optional[Lan] = None,
+    **_: Any,
+) -> Component:
+    """Factory for C-JDBC components (ADL type ``cjdbc``)."""
+    wrapper = CJdbcWrapper(kernel, node, directory, lan)
+    component = Component(
+        name,
+        interface_types=[
+            InterfaceType("jdbc", "jdbc", role=SERVER),
+            InterfaceType(
+                "backends",
+                "mysql",
+                role=CLIENT,
+                contingency=MANDATORY,
+                cardinality=COLLECTION,
+                dynamic=True,
+            ),
+        ],
+        content=wrapper,
+    )
+    ac = component.attribute_controller
+    attrs = attributes or {}
+    ac.declare("port", int(attrs.get("port", 25322)))
+    ac.declare("policy", str(attrs.get("policy", "LeastPendingRequestsFirst")))
+    ac.declare("vdb_name", str(attrs.get("vdb_name", "rubis")))
+    wrapper.write_config()
+    return component

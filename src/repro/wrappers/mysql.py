@@ -1,0 +1,109 @@
+"""MySQL wrapper.
+
+Exposes two server interfaces backed by the same listening port:
+
+* ``mysql`` — the replication-facing interface C-JDBC backends bind to;
+* ``jdbc``  — a direct JDBC interface for non-clustered deployments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cluster.network import Lan
+from repro.cluster.node import Node
+from repro.fractal.component import Component
+from repro.fractal.interfaces import SERVER, InterfaceType
+from repro.legacy.configfiles import MyCnf
+from repro.legacy.directory import Directory
+from repro.legacy.mysql import MySqlServer
+from repro.simulation.kernel import SimKernel
+from repro.wrappers.base import LegacyWrapper, WrapperError
+
+
+class MySqlWrapper(LegacyWrapper):
+    """Manages one MySQL replica."""
+
+    startup_time_s = 3.0
+
+    def attached(self, component: Component) -> None:
+        super().attached(component)
+        self.server = MySqlServer(
+            self.kernel, component.name, self.node, self.directory, self.lan
+        )
+
+    @property
+    def mysql(self) -> MySqlServer:
+        assert isinstance(self.server, MySqlServer)
+        return self.server
+
+    # -- uniform hooks ----------------------------------------------------
+    def on_attribute_changed(self, component: Component, name: str, value: Any) -> None:
+        if self.running and name == "port":
+            raise WrapperError(f"{component.name}: changing the port requires a stop")
+        self.write_config()
+        if name in ("enforce_limits", "max_connections"):
+            self._apply_limits()
+
+    def on_start(self, component: Component) -> None:
+        super().on_start(component)
+        self._apply_limits()
+
+    def _apply_limits(self) -> None:
+        if self.server is None:
+            return
+        self.server.admission_limit = (
+            int(self._attr("max_connections", 200))
+            if self._attr("enforce_limits", False)
+            else None
+        )
+
+    # -- wrapper contract --------------------------------------------------
+    def write_config(self) -> None:
+        conf = MyCnf(
+            port=int(self._attr("port", 3306)),
+            datadir=str(self._attr("datadir", "/var/lib/mysql")),
+            max_connections=int(self._attr("max_connections", 200)),
+        )
+        self.node.fs.write(MySqlServer.CONFIG_PATH, conf.render())
+
+    def endpoint(self, itf_name: str) -> tuple[str, int]:
+        if itf_name in ("mysql", "jdbc"):
+            return (self.node.name, int(self._attr("port", 3306)))
+        raise WrapperError(f"mysql exposes no endpoint behind {itf_name!r}")
+
+    def jdbc_driver(self) -> str:
+        return "mysql"
+
+
+def make_mysql_component(
+    name: str,
+    attributes: Optional[dict[str, Any]] = None,
+    *,
+    kernel: SimKernel,
+    node: Node,
+    directory: Directory,
+    lan: Optional[Lan] = None,
+    **_: Any,
+) -> Component:
+    """Factory for MySQL components (ADL type ``mysql``)."""
+    wrapper = MySqlWrapper(kernel, node, directory, lan)
+    component = Component(
+        name,
+        interface_types=[
+            InterfaceType("mysql", "mysql", role=SERVER),
+            InterfaceType("jdbc", "jdbc", role=SERVER),
+        ],
+        content=wrapper,
+    )
+    ac = component.attribute_controller
+    attrs = attributes or {}
+    ac.declare("port", int(attrs.get("port", 3306)))
+    ac.declare("datadir", str(attrs.get("datadir", "/var/lib/mysql")))
+    ac.declare("max_connections", int(attrs.get("max_connections", 200)))
+    ac.declare(
+        "enforce_limits",
+        str(attrs.get("enforce_limits", "false")).lower() in ("true", "1", "yes"),
+    )
+    wrapper.write_config()
+    return component

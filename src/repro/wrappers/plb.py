@@ -1,0 +1,125 @@
+"""PLB wrapper.
+
+The ``workers`` client interface is dynamic: binding/unbinding a Tomcat
+component while PLB runs rewrites ``plb.conf`` and triggers an online
+``reload`` — no traffic is dropped, which is what lets the
+self-optimization manager resize the application-server tier live.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cluster.network import Lan
+from repro.cluster.node import Node
+from repro.fractal.component import Component
+from repro.fractal.interfaces import (
+    CLIENT,
+    COLLECTION,
+    MANDATORY,
+    SERVER,
+    Interface,
+    InterfaceType,
+)
+from repro.legacy.configfiles import PlbConf
+from repro.legacy.directory import Directory
+from repro.legacy.plb import PlbBalancer
+from repro.simulation.kernel import SimKernel
+from repro.wrappers.base import LegacyWrapper, WrapperError
+
+
+class PlbWrapper(LegacyWrapper):
+    """Manages the PLB load balancer."""
+
+    startup_time_s = 0.5
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        node: Node,
+        directory: Directory,
+        lan: Optional[Lan] = None,
+    ) -> None:
+        super().__init__(kernel, node, directory, lan)
+        self._servers: dict[str, tuple[str, int]] = {}  # instance -> endpoint
+
+    def attached(self, component: Component) -> None:
+        super().attached(component)
+        self.server = PlbBalancer(
+            self.kernel, component.name, self.node, self.directory, self.lan
+        )
+
+    @property
+    def balancer(self) -> PlbBalancer:
+        assert isinstance(self.server, PlbBalancer)
+        return self.server
+
+    # -- uniform hooks ----------------------------------------------------
+    def on_attribute_changed(self, component: Component, name: str, value: Any) -> None:
+        if self.running and name == "port":
+            raise WrapperError(f"{component.name}: changing the port requires a stop")
+        self.write_config()
+        if self.running:
+            self.balancer.reload()
+
+    def on_bind(self, component: Component, instance: str, server_itf: Interface) -> None:
+        peer = self._peer(server_itf)
+        self._servers[instance] = peer.endpoint(server_itf.name)
+        self.write_config()
+        if self.running:
+            self.balancer.reload()
+
+    def on_unbind(self, component: Component, instance: str) -> None:
+        self._servers.pop(instance, None)
+        self.write_config()
+        if self.running:
+            self.balancer.reload()
+
+    # -- wrapper contract --------------------------------------------------
+    def write_config(self) -> None:
+        conf = PlbConf(
+            listen=int(self._attr("port", 8888)),
+            servers=sorted(self._servers.values()),
+            policy=str(self._attr("policy", "roundrobin")),
+        )
+        self.node.fs.write(PlbBalancer.CONFIG_PATH, conf.render())
+
+    def endpoint(self, itf_name: str) -> tuple[str, int]:
+        if itf_name != "http":
+            raise WrapperError(f"plb exposes no endpoint behind {itf_name!r}")
+        return (self.node.name, int(self._attr("port", 8888)))
+
+
+def make_plb_component(
+    name: str,
+    attributes: Optional[dict[str, Any]] = None,
+    *,
+    kernel: SimKernel,
+    node: Node,
+    directory: Directory,
+    lan: Optional[Lan] = None,
+    **_: Any,
+) -> Component:
+    """Factory for PLB components (ADL type ``plb``)."""
+    wrapper = PlbWrapper(kernel, node, directory, lan)
+    component = Component(
+        name,
+        interface_types=[
+            InterfaceType("http", "http", role=SERVER),
+            InterfaceType(
+                "workers",
+                "http",
+                role=CLIENT,
+                contingency=MANDATORY,
+                cardinality=COLLECTION,
+                dynamic=True,
+            ),
+        ],
+        content=wrapper,
+    )
+    ac = component.attribute_controller
+    attrs = attributes or {}
+    ac.declare("port", int(attrs.get("port", 8888)))
+    ac.declare("policy", str(attrs.get("policy", "roundrobin")))
+    wrapper.write_config()
+    return component

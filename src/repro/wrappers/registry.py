@@ -1,0 +1,29 @@
+"""Default component-factory registry.
+
+Maps the ADL type names used by the J2EE architecture descriptions to the
+wrapper factories of this package.  The deployment service resolves types
+through this registry (new legacy software = write a wrapper + register a
+factory, nothing else changes — the paper's extensibility argument).
+"""
+
+from __future__ import annotations
+
+from repro.fractal.adl import ComponentFactoryRegistry
+from repro.wrappers.apache import make_apache_component
+from repro.wrappers.cjdbc import make_cjdbc_component
+from repro.wrappers.l4switch import make_l4switch_component
+from repro.wrappers.mysql import make_mysql_component
+from repro.wrappers.plb import make_plb_component
+from repro.wrappers.tomcat import make_tomcat_component
+
+
+def default_factory_registry() -> ComponentFactoryRegistry:
+    """Registry with every wrapper of the J2EE testbed registered."""
+    registry = ComponentFactoryRegistry()
+    registry.register("apache", make_apache_component)
+    registry.register("tomcat", make_tomcat_component)
+    registry.register("mysql", make_mysql_component)
+    registry.register("cjdbc", make_cjdbc_component)
+    registry.register("plb", make_plb_component)
+    registry.register("l4switch", make_l4switch_component)
+    return registry

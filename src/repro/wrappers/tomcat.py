@@ -1,0 +1,142 @@
+"""Tomcat wrapper.
+
+Binding the ``jdbc`` client interface rewrites the datasource URL in
+``server.xml`` to point at the peer (C-JDBC controller or a plain MySQL);
+the servlets pick it up at the next start.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cluster.network import Lan
+from repro.cluster.node import Node
+from repro.fractal.component import Component
+from repro.fractal.interfaces import (
+    CLIENT,
+    MANDATORY,
+    SERVER,
+    Interface,
+    InterfaceType,
+)
+from repro.legacy.configfiles import ServerXml
+from repro.legacy.directory import Directory
+from repro.legacy.tomcat import TomcatServer
+from repro.simulation.kernel import SimKernel
+from repro.wrappers.base import LegacyWrapper, WrapperError
+
+
+class TomcatWrapper(LegacyWrapper):
+    """Manages one Tomcat instance."""
+
+    startup_time_s = 4.0
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        node: Node,
+        directory: Directory,
+        lan: Optional[Lan] = None,
+    ) -> None:
+        super().__init__(kernel, node, directory, lan)
+        self._datasource_url = "jdbc:mysql://localhost:3306/rubis"
+
+    def attached(self, component: Component) -> None:
+        super().attached(component)
+        self.server = TomcatServer(
+            self.kernel, component.name, self.node, self.directory, self.lan
+        )
+
+    # -- uniform hooks ----------------------------------------------------
+    def on_attribute_changed(self, component: Component, name: str, value: Any) -> None:
+        if self.running and name in ("http_port", "ajp_port"):
+            raise WrapperError(
+                f"{component.name}: changing {name} requires a stop"
+            )
+        self.write_config()
+        if name in ("enforce_limits", "max_threads"):
+            self._apply_limits()
+
+    def on_start(self, component: Component) -> None:
+        super().on_start(component)
+        self._apply_limits()
+
+    def _apply_limits(self) -> None:
+        if self.server is None:
+            return
+        self.server.admission_limit = (
+            int(self._attr("max_threads", 150))
+            if self._attr("enforce_limits", False)
+            else None
+        )
+
+    def on_bind(self, component: Component, instance: str, server_itf: Interface) -> None:
+        peer = self._peer(server_itf)
+        host, port = peer.endpoint(server_itf.name)
+        driver = peer.jdbc_driver()
+        self._datasource_url = f"jdbc:{driver}://{host}:{port}/rubis"
+        self.write_config()
+
+    def on_unbind(self, component: Component, instance: str) -> None:
+        self._datasource_url = "jdbc:mysql://localhost:3306/rubis"
+        self.write_config()
+
+    # -- wrapper contract --------------------------------------------------
+    def write_config(self) -> None:
+        conf = ServerXml(
+            http_port=int(self._attr("http_port", 8080)),
+            ajp_port=int(self._attr("ajp_port", 8009)),
+            datasource_url=self._datasource_url,
+            max_threads=int(self._attr("max_threads", 150)),
+        )
+        self.node.fs.write(TomcatServer.CONFIG_PATH, conf.render())
+
+    def endpoint(self, itf_name: str) -> tuple[str, int]:
+        if itf_name == "ajp":
+            return (self.node.name, int(self._attr("ajp_port", 8009)))
+        if itf_name == "http":
+            return (self.node.name, int(self._attr("http_port", 8080)))
+        raise WrapperError(f"tomcat exposes no endpoint behind {itf_name!r}")
+
+
+def make_tomcat_component(
+    name: str,
+    attributes: Optional[dict[str, Any]] = None,
+    *,
+    kernel: SimKernel,
+    node: Node,
+    directory: Directory,
+    lan: Optional[Lan] = None,
+    **_: Any,
+) -> Component:
+    """Factory for Tomcat components (ADL type ``tomcat``).
+
+    Interfaces: ``http`` and ``ajp`` (servers); ``jdbc`` (client, mandatory
+    — a servlet container without its database is useless, so Fractal's
+    start-time check refuses to start an unbound Tomcat).
+    """
+    wrapper = TomcatWrapper(kernel, node, directory, lan)
+    component = Component(
+        name,
+        interface_types=[
+            InterfaceType("http", "http", role=SERVER),
+            InterfaceType("ajp", "ajp", role=SERVER),
+            InterfaceType(
+                "jdbc", "jdbc", role=CLIENT, contingency=MANDATORY, dynamic=False
+            ),
+        ],
+        content=wrapper,
+    )
+    ac = component.attribute_controller
+    attrs = attributes or {}
+    ac.declare("http_port", int(attrs.get("http_port", 8080)))
+    ac.declare("ajp_port", int(attrs.get("ajp_port", 8009)))
+    ac.declare("max_threads", int(attrs.get("max_threads", 150)))
+    # Off by default: the paper's testbed exhibits unbounded queueing
+    # (Figure 8), not request rejection.
+    ac.declare(
+        "enforce_limits",
+        str(attrs.get("enforce_limits", "false")).lower() in ("true", "1", "yes"),
+    )
+    wrapper.write_config()
+    return component

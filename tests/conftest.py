@@ -1,0 +1,121 @@
+"""Shared fixtures: kernels, clusters, and pre-wired legacy stacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Lan, make_nodes
+from repro.legacy import (
+    CJdbcController,
+    Directory,
+    MySqlServer,
+    PlbBalancer,
+    TomcatServer,
+    WebRequest,
+)
+from repro.legacy.configfiles import (
+    CjdbcBackend,
+    CjdbcXml,
+    MyCnf,
+    PlbConf,
+    ServerXml,
+)
+from repro.simulation import SimKernel
+
+
+@pytest.fixture
+def kernel():
+    return SimKernel()
+
+
+@pytest.fixture
+def lan():
+    return Lan()
+
+
+@pytest.fixture
+def directory():
+    return Directory()
+
+
+class LegacyStack:
+    """A running PLB → Tomcat → C-JDBC → MySQL chain on five nodes."""
+
+    def __init__(self, kernel, lan, directory, extra_nodes: int = 3):
+        self.kernel = kernel
+        self.lan = lan
+        self.directory = directory
+        nodes = make_nodes(kernel, 5 + extra_nodes)
+        self.n_plb, self.n_tc, self.n_cj, self.n_db, *rest = nodes
+        self.spare_nodes = rest
+
+        self.n_db.fs.write(MySqlServer.CONFIG_PATH, MyCnf(port=3306).render())
+        self.mysql = MySqlServer(kernel, "mysql1", self.n_db, directory, lan)
+        self.mysql.start()
+
+        self.n_cj.fs.write(
+            CJdbcController.CONFIG_PATH,
+            CjdbcXml(backends=[CjdbcBackend("mysql1", self.n_db.name, 3306)]).render(),
+        )
+        self.cjdbc = CJdbcController(kernel, "cjdbc", self.n_cj, directory, lan)
+        self.cjdbc.start()
+
+        self.n_tc.fs.write(
+            TomcatServer.CONFIG_PATH,
+            ServerXml(
+                datasource_url=f"jdbc:cjdbc://{self.n_cj.name}:25322/rubis"
+            ).render(),
+        )
+        self.tomcat = TomcatServer(kernel, "tomcat1", self.n_tc, directory, lan)
+        self.tomcat.start()
+
+        self.n_plb.fs.write(
+            PlbBalancer.CONFIG_PATH,
+            PlbConf(servers=[(self.n_tc.name, 8080)]).render(),
+        )
+        self.plb = PlbBalancer(kernel, "plb", self.n_plb, directory, lan)
+        self.plb.start()
+
+    def request(
+        self,
+        write: bool = False,
+        app_pre: float = 0.01,
+        app_post: float = 0.002,
+        db: float = 0.02,
+    ) -> WebRequest:
+        """Issue a request through the front balancer."""
+        req = WebRequest(
+            self.kernel,
+            "ViewItem" if not write else "StoreBid",
+            is_write=write,
+            app_demand_pre=app_pre,
+            app_demand_post=app_post,
+            db_demand=db,
+        )
+        self.plb.handle(req)
+        return req
+
+    def add_mysql(self, name: str, node=None) -> MySqlServer:
+        """Start another MySQL replica on a spare node (not yet attached)."""
+        node = node if node is not None else self.spare_nodes.pop(0)
+        node.fs.write(MySqlServer.CONFIG_PATH, MyCnf(port=3306).render())
+        server = MySqlServer(self.kernel, name, node, self.directory, self.lan)
+        server.start()
+        return server
+
+    def add_tomcat(self, name: str, node=None) -> TomcatServer:
+        node = node if node is not None else self.spare_nodes.pop(0)
+        node.fs.write(
+            TomcatServer.CONFIG_PATH,
+            ServerXml(
+                datasource_url=f"jdbc:cjdbc://{self.n_cj.name}:25322/rubis"
+            ).render(),
+        )
+        server = TomcatServer(self.kernel, name, node, self.directory, self.lan)
+        server.start()
+        return server
+
+
+@pytest.fixture
+def stack(kernel, lan, directory):
+    return LegacyStack(kernel, lan, directory)

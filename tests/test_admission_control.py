@@ -1,0 +1,93 @@
+"""Tests for the opt-in admission control (maxThreads / max_connections)."""
+
+import pytest
+
+from repro.legacy import ServerNotRunning, WebRequest
+
+
+def drain(kernel):
+    kernel.run()
+
+
+class TestTomcatAdmission:
+    def test_disabled_by_default(self, kernel, stack):
+        assert stack.tomcat.admission_limit is None
+
+    def test_limit_rejects_excess(self, kernel, stack):
+        stack.tomcat.admission_limit = 2
+        results = []
+        for _ in range(5):
+            req = stack.request(db=1.0)  # slow queries keep threads busy
+            req.completion.add_callback(lambda s: results.append(s.error is None))
+        kernel.run()
+        assert results.count(False) == 3
+        assert stack.tomcat.rejected == 3
+        assert results.count(True) == 2
+
+    def test_threads_release_after_completion(self, kernel, stack):
+        stack.tomcat.admission_limit = 1
+        first = stack.request()
+        kernel.run()
+        assert not first.failed
+        second = stack.request()
+        kernel.run()
+        assert not second.failed
+
+    def test_rejection_error_names_server(self, kernel, stack):
+        stack.tomcat.admission_limit = 0
+        req = stack.request()
+        errors = []
+        req.completion.add_callback(lambda s: errors.append(str(s.error)))
+        kernel.run()
+        assert "503" in errors[0]
+
+
+class TestMySqlAdmission:
+    def test_connection_limit_rejects_reads(self, kernel, stack):
+        stack.mysql.admission_limit = 1
+        sigs = [stack.mysql.execute_read(0.5) for _ in range(3)]
+        outcomes = []
+        for sig in sigs:
+            sig.add_callback(lambda s: outcomes.append(s.error))
+        kernel.run()
+        refused = [e for e in outcomes if isinstance(e, ConnectionError)]
+        assert len(refused) == 2
+        assert stack.mysql.rejected == 2
+
+
+class TestWrapperPlumbing:
+    def test_enforce_limits_attribute(self, kernel, lan, directory):
+        from repro.cluster import make_nodes
+        from repro.wrappers import make_mysql_component, make_tomcat_component
+
+        nodes = make_nodes(kernel, 2)
+        kw = dict(kernel=kernel, directory=directory, lan=lan)
+        mysql = make_mysql_component(
+            "m", {"enforce_limits": "true", "max_connections": 7}, node=nodes[0], **kw
+        )
+        mysql.start()
+        assert mysql.content.server.admission_limit == 7
+        mysql.set_attr("enforce_limits", False)
+        assert mysql.content.server.admission_limit is None
+
+        tomcat = make_tomcat_component(
+            "t", {"max_threads": 9}, node=nodes[1], **kw
+        )
+        tomcat.bind("jdbc", mysql.get_interface("jdbc"))
+        tomcat.start()
+        assert tomcat.content.server.admission_limit is None
+        tomcat.set_attr("enforce_limits", True)
+        assert tomcat.content.server.admission_limit == 9
+
+    def test_limit_follows_attribute_update(self, kernel, lan, directory):
+        from repro.cluster import make_nodes
+        from repro.wrappers import make_mysql_component
+
+        node = make_nodes(kernel, 1)[0]
+        mysql = make_mysql_component(
+            "m", {"enforce_limits": "true"},
+            node=node, kernel=kernel, directory=directory, lan=lan,
+        )
+        mysql.start()
+        mysql.set_attr("max_connections", 3)
+        assert mysql.content.server.admission_limit == 3

@@ -1,0 +1,65 @@
+"""Tests for the policy arbitration manager (§7 extension)."""
+
+import pytest
+
+from repro.jade.arbitration import ArbitrationManager
+
+
+class TestArbitration:
+    def test_grant_and_complete(self, kernel):
+        arb = ArbitrationManager(kernel)
+        assert arb.request("grow", "db")
+        assert arb.active_operation("db").kind == "grow"
+        arb.complete("grow", "db")
+        assert arb.active_operation("db") is None
+
+    def test_one_operation_per_tier(self, kernel):
+        arb = ArbitrationManager(kernel)
+        arb.request("grow", "db")
+        assert not arb.request("grow", "db")
+        assert not arb.request("shrink", "db")
+        assert arb.denied[-1][1] == "shrink"
+
+    def test_other_tier_unaffected(self, kernel):
+        arb = ArbitrationManager(kernel)
+        arb.request("grow", "db")
+        assert arb.request("grow", "app")
+
+    def test_repair_preempts_optimization(self, kernel):
+        arb = ArbitrationManager(kernel)
+        arb.request("shrink", "db")
+        assert arb.request("repair", "db")
+
+    def test_optimization_cannot_preempt_repair(self, kernel):
+        arb = ArbitrationManager(kernel)
+        arb.request("repair", "db")
+        assert not arb.request("grow", "db")
+        assert not arb.request("shrink", "db")
+
+    def test_post_repair_cooldown_blocks_shrink(self, kernel):
+        arb = ArbitrationManager(kernel, post_repair_cooldown_s=100.0)
+        arb.request("repair", "db")
+        arb.complete("repair", "db")
+        assert not arb.request("shrink", "db")
+        assert arb.request("grow", "db")  # growth is fine
+        arb.complete("grow", "db")
+        kernel.run(until=101.0)
+        assert arb.request("shrink", "db")
+
+    def test_unknown_kind_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            ArbitrationManager(kernel).request("reboot", "db")
+
+    def test_complete_mismatched_kind_ignored(self, kernel):
+        arb = ArbitrationManager(kernel)
+        arb.request("grow", "db")
+        arb.complete("shrink", "db")  # wrong kind: no effect
+        assert arb.active_operation("db") is not None
+
+    def test_denied_log_records_reason(self, kernel):
+        arb = ArbitrationManager(kernel)
+        arb.request("grow", "db")
+        arb.request("grow", "db")
+        t, kind, tier, why = arb.denied[0]
+        assert (kind, tier) == ("grow", "db")
+        assert "active" in why

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_ramp_defaults(self):
+        args = build_parser().parse_args(["ramp"])
+        assert args.command == "ramp"
+        assert args.peak == 500
+        assert not args.static
+
+    def test_steady_options(self):
+        args = build_parser().parse_args(
+            ["steady", "--clients", "40", "--duration", "100", "--no-jade"]
+        )
+        assert args.clients == 40
+        assert args.no_jade
+
+    def test_recovery_options(self):
+        args = build_parser().parse_args(["recovery", "--crash-at", "120"])
+        assert args.crash_at == 120.0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_steady_runs_and_prints_summary(self, capsys):
+        assert main(["steady", "--clients", "20", "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "peak replicas" in out
+
+    def test_steady_no_jade(self, capsys):
+        assert main(["steady", "--clients", "10", "--duration", "30", "--no-jade"]) == 0
+        assert "managed=False" in capsys.readouterr().out
+
+    def test_ramp_compressed(self, capsys):
+        assert main(["ramp", "--scale", "0.05", "--peak", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Summary" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        path = tmp_path / "series.csv"
+        assert (
+            main(["steady", "--clients", "15", "--duration", "60", "--csv", str(path)])
+            == 0
+        )
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["series", "t_s", "value"]
+        series = {r[0] for r in rows[1:]}
+        assert "latency_s" in series
+        assert "clients" in series
+        assert any(s.startswith("cpu[") for s in series)
+
+    def test_recovery_scenario(self, capsys):
+        assert main(["recovery", "--clients", "30", "--crash-at", "100",
+                     "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "digests identical: True" in out
+        assert "detected failure" in out

@@ -1,0 +1,392 @@
+"""Unit tests for the cluster substrate: nodes, filesystem, allocator,
+installer, LAN, failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterManager,
+    FailureInjector,
+    FileNotFound,
+    Lan,
+    NoFreeNodeError,
+    Node,
+    NodeDown,
+    NodeFilesystem,
+    Package,
+    SoftwareInstallationService,
+    make_nodes,
+)
+from repro.simulation import SimKernel
+
+
+class TestFilesystem:
+    def test_write_read_roundtrip(self):
+        fs = NodeFilesystem()
+        fs.write("/etc/app.conf", "key=value\n")
+        assert fs.read("/etc/app.conf") == "key=value\n"
+
+    def test_read_missing_raises(self):
+        with pytest.raises(FileNotFound):
+            NodeFilesystem().read("/nope")
+
+    def test_overwrite(self):
+        fs = NodeFilesystem()
+        fs.write("/a", "1")
+        fs.write("/a", "2")
+        assert fs.read("/a") == "2"
+
+    def test_exists_and_delete(self):
+        fs = NodeFilesystem()
+        fs.write("/a", "x")
+        assert fs.exists("/a")
+        fs.delete("/a")
+        assert not fs.exists("/a")
+        with pytest.raises(FileNotFound):
+            fs.delete("/a")
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(ValueError):
+            NodeFilesystem().write("etc/app.conf", "x")
+
+    def test_path_normalization(self):
+        fs = NodeFilesystem()
+        fs.write("//etc///app.conf", "x")
+        assert fs.read("/etc/app.conf") == "x"
+
+    def test_listdir(self):
+        fs = NodeFilesystem()
+        fs.write("/opt/pkg/a", "1")
+        fs.write("/opt/pkg/sub/b", "2")
+        fs.write("/etc/other", "3")
+        assert fs.listdir("/opt/pkg") == ["/opt/pkg/a", "/opt/pkg/sub/b"]
+
+    def test_remove_tree(self):
+        fs = NodeFilesystem()
+        fs.write("/opt/pkg/a", "1")
+        fs.write("/opt/pkg/b", "2")
+        fs.write("/etc/keep", "3")
+        assert fs.remove_tree("/opt/pkg") == 2
+        assert len(fs) == 1
+
+
+class TestNode:
+    def test_run_job_consumes_cpu(self, kernel):
+        node = Node(kernel, "n1")
+        job = node.run_job(2.0)
+        kernel.run()
+        assert job.completed_at == pytest.approx(2.0)
+
+    def test_run_job_on_down_node_raises(self, kernel):
+        node = Node(kernel, "n1")
+        node.crash()
+        with pytest.raises(NodeDown):
+            node.run_job(1.0)
+
+    def test_memory_baseline(self, kernel):
+        node = Node(kernel, "n1", memory_mb=1000.0, base_os_mb=100.0)
+        assert node.memory_used_mb() == pytest.approx(100.0)
+        assert node.memory_utilization() == pytest.approx(0.1)
+
+    def test_memory_footprints(self, kernel):
+        node = Node(kernel, "n1", memory_mb=1000.0, base_os_mb=100.0)
+        node.register_footprint("srv:db", 80.0)
+        node.register_footprint("jade", 20.0)
+        assert node.memory_used_mb() == pytest.approx(200.0)
+        node.unregister_footprint("jade")
+        assert node.memory_used_mb() == pytest.approx(180.0)
+
+    def test_memory_includes_active_jobs(self, kernel):
+        node = Node(kernel, "n1", memory_mb=1000.0, base_os_mb=0.0, per_job_mb=10.0)
+        node.run_job(5.0)
+        node.run_job(5.0)
+        assert node.memory_used_mb() == pytest.approx(20.0)
+
+    def test_memory_capped_at_total(self, kernel):
+        node = Node(kernel, "n1", memory_mb=100.0, base_os_mb=90.0)
+        node.register_footprint("big", 500.0)
+        assert node.memory_used_mb() == 100.0
+
+    def test_negative_footprint_rejected(self, kernel):
+        node = Node(kernel, "n1")
+        with pytest.raises(ValueError):
+            node.register_footprint("x", -1.0)
+
+    def test_crash_aborts_jobs_and_notifies(self, kernel):
+        node = Node(kernel, "n1")
+        job = node.run_job(10.0)
+        errors = []
+        job.done.add_callback(lambda s: errors.append(s.error))
+        crashed = []
+        node.on_crash(crashed.append)
+        kernel.schedule(1.0, node.crash)
+        kernel.run()
+        assert isinstance(errors[0], NodeDown)
+        assert crashed == [node]
+
+    def test_crash_idempotent(self, kernel):
+        node = Node(kernel, "n1")
+        hits = []
+        node.on_crash(hits.append)
+        node.crash()
+        node.crash()
+        assert len(hits) == 1
+
+    def test_reboot_resets_state(self, kernel):
+        node = Node(kernel, "n1")
+        node.fs.write("/etc/x", "data")
+        node.register_footprint("srv", 10.0)
+        node.crash()
+        node.reboot()
+        assert node.up
+        assert not node.fs.exists("/etc/x")
+        assert node.footprints == {}
+
+    def test_utilization_sampling(self, kernel):
+        node = Node(kernel, "n1")
+        node.run_job(1.0)
+        kernel.run(until=2.0)
+        # busy 1s out of 2s
+        assert node.cpu_utilization_since_last_sample() == pytest.approx(0.5)
+        kernel.run(until=4.0)
+        assert node.cpu_utilization_since_last_sample() == pytest.approx(0.0)
+
+    def test_make_nodes_names(self, kernel):
+        nodes = make_nodes(kernel, 3, prefix="srv")
+        assert [n.name for n in nodes] == ["srv1", "srv2", "srv3"]
+
+
+class TestClusterManager:
+    def test_allocate_release_cycle(self, kernel):
+        nodes = make_nodes(kernel, 3)
+        cm = ClusterManager(nodes)
+        n = cm.allocate("tier:db")
+        assert cm.free_count == 2
+        assert cm.owner_of(n) == "tier:db"
+        cm.release(n)
+        assert cm.free_count == 3
+        assert cm.owner_of(n) is None
+
+    def test_allocation_is_fifo(self, kernel):
+        nodes = make_nodes(kernel, 3)
+        cm = ClusterManager(nodes)
+        assert cm.allocate("a").name == "node1"
+        assert cm.allocate("b").name == "node2"
+
+    def test_released_node_goes_to_back_of_pool(self, kernel):
+        nodes = make_nodes(kernel, 2)
+        cm = ClusterManager(nodes)
+        first = cm.allocate("a")
+        cm.release(first)
+        assert cm.allocate("b").name == "node2"
+
+    def test_exhaustion_raises(self, kernel):
+        cm = ClusterManager(make_nodes(kernel, 1))
+        cm.allocate("a")
+        with pytest.raises(NoFreeNodeError):
+            cm.allocate("b")
+
+    def test_predicate_filters(self, kernel):
+        nodes = make_nodes(kernel, 3)
+        cm = ClusterManager(nodes)
+        n = cm.allocate("a", predicate=lambda n: n.name == "node3")
+        assert n.name == "node3"
+
+    def test_crashed_nodes_not_allocated(self, kernel):
+        nodes = make_nodes(kernel, 2)
+        nodes[0].crash()
+        cm = ClusterManager(nodes)
+        assert cm.allocate("a").name == "node2"
+        with pytest.raises(NoFreeNodeError):
+            cm.allocate("b")
+
+    def test_double_release_rejected(self, kernel):
+        cm = ClusterManager(make_nodes(kernel, 1))
+        n = cm.allocate("a")
+        cm.release(n)
+        with pytest.raises(ValueError):
+            cm.release(n)
+
+    def test_discard_removes_node(self, kernel):
+        nodes = make_nodes(kernel, 2)
+        cm = ClusterManager(nodes)
+        n = cm.allocate("a")
+        cm.discard(n)
+        assert cm.allocated_count == 0
+        assert cm.free_count == 1
+
+    def test_duplicate_names_rejected(self, kernel):
+        a = Node(kernel, "same")
+        b = Node(kernel, "same")
+        with pytest.raises(ValueError):
+            ClusterManager([a, b])
+
+    def test_counters(self, kernel):
+        cm = ClusterManager(make_nodes(kernel, 2))
+        n = cm.allocate("a")
+        cm.release(n)
+        cm.allocate("b")
+        assert cm.allocations_total == 2
+        assert cm.releases_total == 1
+
+
+class TestInstaller:
+    def make(self, kernel):
+        svc = SoftwareInstallationService(kernel, Lan())
+        svc.register(
+            Package(
+                "tomcat",
+                "3.3.2",
+                size_mb=10.0,
+                setup_time_s=2.0,
+                files={"bin/catalina.sh": "#!/bin/sh\n"},
+                footprint_mb=24.0,
+            )
+        )
+        return svc
+
+    def test_install_writes_files_and_footprint(self, kernel):
+        svc = self.make(kernel)
+        node = Node(kernel, "n1")
+        done = []
+        svc.install("tomcat", node).add_callback(lambda s: done.append(s.value))
+        kernel.run()
+        assert done and done[0].name == "tomcat"
+        assert node.fs.exists("/opt/tomcat-3.3.2/.installed")
+        assert node.fs.read("/opt/tomcat-3.3.2/bin/catalina.sh").startswith("#!")
+        assert node.footprints["pkg:tomcat"] == 24.0
+        assert svc.is_installed("tomcat", node)
+
+    def test_install_takes_time(self, kernel):
+        svc = self.make(kernel)
+        node = Node(kernel, "n1")
+        when = []
+        svc.install("tomcat", node).add_callback(lambda s: when.append(kernel.now))
+        kernel.run()
+        # setup 2 s + transfer of 10 MB over 100 Mbps = 0.8 s
+        assert when[0] == pytest.approx(2.8, abs=0.05)
+
+    def test_reinstall_skips_transfer(self, kernel):
+        svc = self.make(kernel)
+        node = Node(kernel, "n1")
+        svc.install("tomcat", node)
+        kernel.run()
+        start = kernel.now
+        when = []
+        svc.install("tomcat", node).add_callback(lambda s: when.append(kernel.now))
+        kernel.run()
+        assert when[0] - start == pytest.approx(2.0, abs=0.01)
+
+    def test_install_unknown_package(self, kernel):
+        svc = self.make(kernel)
+        node = Node(kernel, "n1")
+        from repro.cluster.installer import PackageNotFound
+
+        with pytest.raises(PackageNotFound):
+            svc.install("nope", node)
+
+    def test_install_on_down_node_fails_signal(self, kernel):
+        svc = self.make(kernel)
+        node = Node(kernel, "n1")
+        node.crash()
+        errors = []
+        svc.install("tomcat", node).add_callback(lambda s: errors.append(s.error))
+        kernel.run()
+        assert isinstance(errors[0], NodeDown)
+
+    def test_node_crash_during_install_fails(self, kernel):
+        svc = self.make(kernel)
+        node = Node(kernel, "n1")
+        errors = []
+        svc.install("tomcat", node).add_callback(lambda s: errors.append(s.error))
+        kernel.schedule(1.0, node.crash)
+        kernel.run()
+        assert isinstance(errors[0], NodeDown)
+
+    def test_uninstall(self, kernel):
+        svc = self.make(kernel)
+        node = Node(kernel, "n1")
+        svc.install("tomcat", node)
+        kernel.run()
+        svc.uninstall("tomcat", node)
+        assert not svc.is_installed("tomcat", node)
+        assert not node.fs.exists("/opt/tomcat-3.3.2/.installed")
+        assert "pkg:tomcat" not in node.footprints
+
+
+class TestLan:
+    def test_message_delay_positive(self):
+        lan = Lan(latency_s=0.001, bandwidth_mbps=100.0)
+        assert lan.message_delay(1.0) > 0.001
+
+    def test_transfer_time_scales_with_size(self):
+        lan = Lan(bandwidth_mbps=100.0)
+        assert lan.transfer_time(100.0) == pytest.approx(8.0, rel=0.01)
+
+    def test_counters(self):
+        lan = Lan()
+        lan.message_delay(2.0)
+        lan.message_delay(2.0)
+        assert lan.messages_total == 2
+        assert lan.bytes_total == pytest.approx(2 * 2 * 1024)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            Lan(latency_s=-1)
+        with pytest.raises(ValueError):
+            Lan(bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            Lan().message_delay(-1.0)
+
+
+class TestFailureInjector:
+    def test_crash_at(self, kernel):
+        node = Node(kernel, "n1")
+        inj = FailureInjector(kernel)
+        inj.crash_at(node, 5.0)
+        kernel.run(until=4.0)
+        assert node.up
+        kernel.run(until=6.0)
+        assert not node.up
+        assert inj.crashes_injected == 1
+
+    def test_crash_after(self, kernel):
+        node = Node(kernel, "n1")
+        FailureInjector(kernel).crash_after(node, 2.0)
+        kernel.run()
+        assert not node.up
+
+    def test_poisson_crashes_hit_mean(self, kernel):
+        rng = np.random.default_rng(42)
+        nodes = make_nodes(kernel, 200)
+        inj = FailureInjector(kernel, rng)
+        inj.poisson_crashes(nodes, mtbf_s=100.0)
+        kernel.run(until=1000.0)
+        # Expect ~10 crashes (1000 s / 100 s MTBF); loose bounds.
+        assert 3 <= inj.crashes_injected <= 25
+
+    def test_victim_filter(self, kernel):
+        rng = np.random.default_rng(1)
+        nodes = make_nodes(kernel, 5)
+        protected = nodes[0]
+        inj = FailureInjector(kernel, rng)
+        inj.poisson_crashes(
+            nodes, mtbf_s=5.0, victim_filter=lambda n: n is not protected
+        )
+        kernel.run(until=200.0)
+        assert protected.up
+        assert inj.crashes_injected > 0
+
+    def test_stop_cancels(self, kernel):
+        rng = np.random.default_rng(1)
+        nodes = make_nodes(kernel, 5)
+        inj = FailureInjector(kernel, rng)
+        inj.poisson_crashes(nodes, mtbf_s=1.0)
+        inj.stop()
+        kernel.run(until=100.0)
+        assert inj.crashes_injected == 0
+
+    def test_bad_mtbf_rejected(self, kernel):
+        inj = FailureInjector(kernel)
+        with pytest.raises(ValueError):
+            inj.poisson_crashes([], mtbf_s=0.0)

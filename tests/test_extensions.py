@@ -1,0 +1,254 @@
+"""Tests for the extensions: latency-SLO manager, three-tier harness,
+rolling rebind."""
+
+import pytest
+
+from repro.jade.latency_optimization import LatencyOptimizationManager, SloReactor
+from repro.jade.control_loop import InhibitionLock
+from repro.jade.rolling import RollingRebind, rolling_rebind
+from repro.jade.sensors import LatencySensor
+from repro.jade.system import ExperimentConfig, ManagedSystem
+from repro.jade.three_tier import ThreeTierSystem
+from repro.metrics import MetricsCollector, TimeSeries
+from repro.workload.profiles import PiecewiseProfile, RampProfile
+
+
+class TestLatencySensor:
+    def test_consumes_series_incrementally(self, kernel):
+        series = TimeSeries("lat")
+        sensor = LatencySensor(kernel, series, window_s=10.0, period_s=1.0)
+        readings = []
+        sensor.subscribe(readings.append)
+        sensor.on_start()
+        kernel.schedule(0.5, series.append, 0.5, 0.2)
+        kernel.schedule(1.5, series.append, 1.5, 0.4)
+        kernel.run(until=3.0)
+        assert readings[-1].smoothed == pytest.approx(0.3)
+
+    def test_silent_periods_emit_nothing_when_empty(self, kernel):
+        series = TimeSeries("lat")
+        sensor = LatencySensor(kernel, series, window_s=5.0)
+        readings = []
+        sensor.subscribe(readings.append)
+        sensor.on_start()
+        kernel.run(until=3.0)
+        assert readings == []
+
+    def test_window_ages_out(self, kernel):
+        series = TimeSeries("lat")
+        sensor = LatencySensor(kernel, series, window_s=2.0)
+        readings = []
+        sensor.subscribe(readings.append)
+        sensor.on_start()
+        series.append(0.0, 1.0)
+        kernel.run(until=5.0)
+        # After the window passed, there is nothing to report.
+        assert readings[-1].t <= 2.0
+
+
+class FakeTier:
+    def __init__(self, name, util):
+        self.tier_name = name
+        self._util = util
+        self.replica_count = 1
+        self.busy = False
+        self.calls = []
+
+    def active_nodes(self):
+        return []
+
+    def grow(self):
+        self.calls.append("grow")
+        self.replica_count += 1
+        return True
+
+    def shrink(self):
+        self.calls.append("shrink")
+        self.replica_count -= 1
+        return True
+
+
+class TestSloReactor:
+    def make(self, kernel, tiers, **kw):
+        kw.setdefault("max_latency_s", 0.5)
+        kw.setdefault("min_latency_s", 0.05)
+        kw.setdefault("warmup_samples", 0)
+        reactor = SloReactor(kernel, tiers, InhibitionLock(kernel, 60.0), **kw)
+        # Pin the utilization ranking without real nodes.
+        reactor._tier_utilization = lambda t: t._util
+        return reactor
+
+    def reading(self, kernel, value):
+        from repro.jade.sensors import LatencyReading
+
+        return LatencyReading(kernel.now, value, value, 1)
+
+    def test_grows_hottest_tier_on_violation(self, kernel):
+        cold = FakeTier("app", 0.2)
+        hot = FakeTier("db", 0.9)
+        reactor = self.make(kernel, [cold, hot])
+        reactor.on_reading(self.reading(kernel, 1.0))
+        assert hot.calls == ["grow"]
+        assert cold.calls == []
+
+    def test_shrinks_idlest_overprovisioned_tier(self, kernel):
+        a = FakeTier("app", 0.1)
+        b = FakeTier("db", 0.5)
+        a.replica_count = 2
+        b.replica_count = 2
+        reactor = self.make(kernel, [a, b])
+        reactor.on_reading(self.reading(kernel, 0.01))
+        assert a.calls == ["shrink"]
+        assert b.calls == []
+
+    def test_never_shrinks_below_floor(self, kernel):
+        a = FakeTier("app", 0.1)
+        reactor = self.make(kernel, [a])
+        reactor.on_reading(self.reading(kernel, 0.01))
+        assert a.calls == []
+
+    def test_in_band_is_quiet(self, kernel):
+        a = FakeTier("app", 0.5)
+        reactor = self.make(kernel, [a])
+        reactor.on_reading(self.reading(kernel, 0.2))
+        assert a.calls == []
+
+    def test_inhibition_shared(self, kernel):
+        a = FakeTier("app", 0.9)
+        reactor = self.make(kernel, [a])
+        reactor.on_reading(self.reading(kernel, 1.0))
+        reactor.on_reading(self.reading(kernel, 1.0))
+        assert a.calls == ["grow"]
+        assert reactor.decisions_suppressed == 1
+
+    def test_validation(self, kernel):
+        with pytest.raises(ValueError):
+            SloReactor(kernel, [FakeTier("a", 0.1)], InhibitionLock(kernel, 1.0),
+                       max_latency_s=0.1, min_latency_s=0.5)
+        with pytest.raises(ValueError):
+            SloReactor(kernel, [], InhibitionLock(kernel, 1.0),
+                       max_latency_s=0.5, min_latency_s=0.1)
+
+
+class TestSloManagerEndToEnd:
+    def test_slo_manager_scales_under_step_load(self):
+        profile = PiecewiseProfile([(0.0, 80), (60.0, 320)], duration_s=900.0)
+        cfg = ExperimentConfig(
+            profile=profile, seed=11, use_slo_manager=True, tail_s=30.0
+        )
+        system = ManagedSystem(cfg)
+        col = system.run()
+        # The DB was the bottleneck: SLO manager must have grown it.
+        assert system.db_tier.grows_completed >= 1
+        # SLO respected at the end of the run.
+        tail = col.latencies.window(700.0, 900.0)
+        assert tail.mean() < cfg.slo_max_latency_s
+
+    def test_slo_manager_is_a_component(self):
+        cfg = ExperimentConfig(use_slo_manager=True)
+        system = ManagedSystem(cfg)
+        names = [
+            c.name
+            for c in system.optimizer.composite.content_controller.sub_components()
+        ]
+        assert names == ["slo-sensor", "slo-reactor"]
+
+
+class TestThreeTier:
+    @pytest.fixture(scope="class")
+    def run(self):
+        profile = RampProfile(warmup_s=150, step_period_s=30, cooldown_s=150)
+        system = ThreeTierSystem(profile, seed=2)
+        system.run()
+        return system
+
+    def test_web_tier_scales(self, run):
+        assert run.web_tier.grows_completed >= 1
+        assert run.collector.tier_replicas["web"].max() == 2
+
+    def test_db_tier_scales(self, run):
+        assert run.db_tier.grows_completed >= 1
+
+    def test_both_tiers_shrink_on_descent(self, run):
+        assert run.web_tier.shrinks_completed >= 1
+        assert run.db_tier.shrinks_completed >= 1
+
+    def test_new_apache_bound_to_both_tomcats(self, run):
+        # Find a grow event in the log: the added apache replica was bound
+        # to both Tomcats via its mod_jk collection interface.
+        grown = [
+            c
+            for c in run.app.root.content_controller.sub_components()
+            if c.name.startswith("apache") and c.name != "apache"
+        ]
+        if grown:  # may already be shrunk away; check the event trail then
+            apache = grown[0]
+            assert len(apache.binding_controller.bound_instances("ajp")) == 2
+        assert any("apache2" in d for _, d in run.collector.reconfigurations)
+
+    def test_no_failed_requests(self, run):
+        assert run.collector.failed_requests == 0
+
+
+class TestRollingRebind:
+    def build_web(self, kernel, lan, directory, n_apaches=3):
+        from repro.cluster import make_nodes
+        from repro.wrappers import make_apache_component, make_tomcat_component
+
+        nodes = make_nodes(kernel, n_apaches + 2, prefix="w")
+        kw = dict(kernel=kernel, directory=directory, lan=lan)
+        tomcat_old = make_tomcat_component("t-old", node=nodes[-2], **kw)
+        tomcat_new = make_tomcat_component("t-new", node=nodes[-1], **kw)
+        apaches = []
+        for i in range(n_apaches):
+            apache = make_apache_component(f"a{i}", node=nodes[i], **kw)
+            apache.bind("ajp", tomcat_old.get_interface("ajp"))
+            apache.start()
+            apaches.append(apache)
+        return apaches, tomcat_old, tomcat_new
+
+    def test_rolls_every_frontend(self, kernel, lan, directory):
+        apaches, old, new = self.build_web(kernel, lan, directory)
+        op = rolling_rebind(
+            kernel, apaches, "ajp", [new.get_interface("ajp")]
+        )
+        kernel.run()
+        assert op.done.fired
+        assert op.restarted == 3
+        for apache in apaches:
+            assert apache.lifecycle_controller.is_started()
+            bound = apache.binding_controller.bound_servers("ajp")
+            assert [s.component.name for s in bound] == ["t-new"]
+
+    def test_at_most_one_frontend_down_at_a_time(self, kernel, lan, directory):
+        apaches, old, new = self.build_web(kernel, lan, directory)
+        max_down = 0
+
+        def watch():
+            nonlocal max_down
+            down = sum(
+                1 for a in apaches if not a.lifecycle_controller.is_started()
+            )
+            max_down = max(max_down, down)
+
+        kernel.every(0.1, watch)
+        RollingRebind(
+            kernel, apaches, "ajp", [new.get_interface("ajp")]
+        ).start()
+        kernel.run(until=60.0)
+        assert max_down == 1
+
+    def test_rebind_to_multiple_targets(self, kernel, lan, directory):
+        apaches, old, new = self.build_web(kernel, lan, directory, n_apaches=1)
+        rolling_rebind(
+            kernel,
+            apaches,
+            "ajp",
+            [old.get_interface("ajp"), new.get_interface("ajp")],
+        )
+        kernel.run()
+        assert len(apaches[0].binding_controller.bound_instances("ajp")) == 2
+
+    def test_validation(self, kernel):
+        with pytest.raises(ValueError):
+            RollingRebind(kernel, [], "ajp", ["x"])

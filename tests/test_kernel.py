@@ -1,0 +1,180 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simulation.kernel import SimKernel, SimulationError
+
+
+def test_initial_time_is_zero(kernel):
+    assert kernel.now == 0.0
+
+
+def test_events_run_in_time_order(kernel):
+    out = []
+    kernel.schedule(2.0, out.append, "b")
+    kernel.schedule(1.0, out.append, "a")
+    kernel.schedule(3.0, out.append, "c")
+    kernel.run()
+    assert out == ["a", "b", "c"]
+
+
+def test_ties_break_fifo(kernel):
+    out = []
+    for tag in range(5):
+        kernel.schedule(1.0, out.append, tag)
+    kernel.run()
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_now_advances_to_event_time(kernel):
+    seen = []
+    kernel.schedule(4.5, lambda: seen.append(kernel.now))
+    kernel.run()
+    assert seen == [4.5]
+    assert kernel.now == 4.5
+
+
+def test_schedule_negative_delay_rejected(kernel):
+    with pytest.raises(SimulationError):
+        kernel.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected(kernel):
+    kernel.schedule(5.0, lambda: None)
+    kernel.run()
+    with pytest.raises(SimulationError):
+        kernel.schedule_at(1.0, lambda: None)
+
+
+def test_cancel_prevents_execution(kernel):
+    out = []
+    ev = kernel.schedule(1.0, out.append, "x")
+    ev.cancel()
+    kernel.run()
+    assert out == []
+
+
+def test_cancel_is_idempotent(kernel):
+    ev = kernel.schedule(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    kernel.run()
+
+
+def test_run_until_stops_before_later_events(kernel):
+    out = []
+    kernel.schedule(1.0, out.append, "early")
+    kernel.schedule(10.0, out.append, "late")
+    kernel.run(until=5.0)
+    assert out == ["early"]
+    assert kernel.now == 5.0
+    kernel.run()
+    assert out == ["early", "late"]
+
+
+def test_run_until_executes_events_at_boundary(kernel):
+    out = []
+    kernel.schedule(5.0, out.append, "boundary")
+    kernel.run(until=5.0)
+    assert out == ["boundary"]
+
+
+def test_run_until_advances_time_when_queue_drains(kernel):
+    kernel.run(until=42.0)
+    assert kernel.now == 42.0
+
+
+def test_events_scheduled_during_run_execute(kernel):
+    out = []
+
+    def first():
+        kernel.schedule(1.0, out.append, "second")
+        out.append("first")
+
+    kernel.schedule(1.0, first)
+    kernel.run()
+    assert out == ["first", "second"]
+
+
+def test_call_soon_runs_at_current_time(kernel):
+    out = []
+    kernel.schedule(3.0, lambda: kernel.call_soon(out.append, kernel.now))
+    kernel.run()
+    assert out == [3.0]
+
+
+def test_stop_halts_run(kernel):
+    out = []
+    kernel.schedule(1.0, kernel.stop)
+    kernel.schedule(2.0, out.append, "never")
+    kernel.run()
+    assert out == []
+    assert kernel.pending == 1
+
+
+def test_step_executes_single_event(kernel):
+    out = []
+    kernel.schedule(1.0, out.append, 1)
+    kernel.schedule(2.0, out.append, 2)
+    assert kernel.step()
+    assert out == [1]
+    assert kernel.step()
+    assert out == [1, 2]
+    assert not kernel.step()
+
+
+def test_events_processed_counter(kernel):
+    for _ in range(7):
+        kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    assert kernel.events_processed == 7
+
+
+def test_reentrant_run_rejected(kernel):
+    def inner():
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    kernel.schedule(1.0, inner)
+    kernel.run()
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self, kernel):
+        out = []
+        kernel.every(1.0, lambda: out.append(kernel.now))
+        kernel.run(until=5.5)
+        assert out == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_custom_start(self, kernel):
+        out = []
+        kernel.every(2.0, lambda: out.append(kernel.now), start=0.5)
+        kernel.run(until=5.0)
+        assert out == [0.5, 2.5, 4.5]
+
+    def test_cancel_stops_firing(self, kernel):
+        out = []
+        task = kernel.every(1.0, lambda: out.append(kernel.now))
+        kernel.schedule(2.5, task.cancel)
+        kernel.run(until=10.0)
+        assert out == [1.0, 2.0]
+        assert task.cancelled
+
+    def test_cancel_from_inside_callback(self, kernel):
+        task_box = []
+
+        def tick():
+            task_box[0].cancel()
+
+        task_box.append(kernel.every(1.0, tick))
+        kernel.run(until=10.0)
+        assert task_box[0].fired == 1
+
+    def test_zero_period_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.every(0.0, lambda: None)
+
+    def test_fired_counter(self, kernel):
+        task = kernel.every(1.0, lambda: None)
+        kernel.run(until=3.0)
+        assert task.fired == 3

@@ -1,0 +1,116 @@
+"""Tests for the model-based capacity planner."""
+
+import pytest
+
+from repro.jade.control_loop import InhibitionLock
+from repro.jade.planner import PlannerReactor
+from repro.jade.self_optimization import LoopConfig
+from repro.jade.sensors import CpuReading
+from repro.jade.system import ExperimentConfig, ManagedSystem
+from repro.workload.profiles import PiecewiseProfile
+
+
+class FakeTier:
+    def __init__(self, replicas=1):
+        self.replica_count = replicas
+        self.calls = []
+
+    def grow(self):
+        self.calls.append("grow")
+        self.replica_count += 1
+        return True
+
+    def shrink(self):
+        self.calls.append("shrink")
+        self.replica_count -= 1
+        return True
+
+
+def make(kernel, tier=None, **kw):
+    tier = tier or FakeTier()
+    kw.setdefault("warmup_samples", 0)
+    kw.setdefault("target_utilization", 0.60)
+    reactor = PlannerReactor(kernel, tier, InhibitionLock(kernel, 60.0), **kw)
+    return reactor, tier
+
+
+def reading(kernel, value):
+    return CpuReading(kernel.now, value, value, 1)
+
+
+class TestPlanMath:
+    def test_desired_replicas_from_demand(self, kernel):
+        reactor, _ = make(kernel)
+        # U=0.9 on 2 replicas -> demand 1.8 -> at target 0.6 need 3.
+        assert reactor.desired_replicas(0.9, 2) == 3
+        # U=0.2 on 3 replicas -> demand 0.6 -> 1 replica suffices.
+        assert reactor.desired_replicas(0.2, 3) == 1
+
+    def test_floor_and_ceiling(self, kernel):
+        reactor, _ = make(kernel, min_replicas=2, max_replicas=4)
+        assert reactor.desired_replicas(0.01, 2) == 2
+        assert reactor.desired_replicas(1.0, 4) == 4
+
+    def test_validation(self, kernel):
+        with pytest.raises(ValueError):
+            make(kernel, target_utilization=1.5)
+        with pytest.raises(ValueError):
+            make(kernel, hysteresis=-0.1)
+        with pytest.raises(ValueError):
+            make(kernel, min_replicas=0)
+
+
+class TestPlannerDecisions:
+    def test_grows_when_above_band(self, kernel):
+        reactor, tier = make(kernel)
+        reactor.on_reading(reading(kernel, 0.9))
+        assert tier.calls == ["grow"]
+        assert reactor.plans == [(0.0, 1, 2)]
+
+    def test_shrinks_when_below_band(self, kernel):
+        reactor, tier = make(kernel, tier=FakeTier(replicas=3))
+        reactor.on_reading(reading(kernel, 0.2))
+        assert tier.calls == ["shrink"]
+
+    def test_quiet_inside_hysteresis_band(self, kernel):
+        reactor, tier = make(kernel, hysteresis=0.15)
+        reactor.on_reading(reading(kernel, 0.70))  # within 0.60 +- 0.15
+        assert tier.calls == []
+
+    def test_no_action_when_plan_matches_current(self, kernel):
+        reactor, tier = make(kernel, tier=FakeTier(replicas=1), hysteresis=0.0)
+        # U=0.55 on 1 replica: demand 0.55 -> ceil(0.55/0.6)=1 == current.
+        reactor.on_reading(reading(kernel, 0.55))
+        assert tier.calls == []
+
+    def test_inhibition_respected(self, kernel):
+        reactor, tier = make(kernel)
+        reactor.on_reading(reading(kernel, 0.9))
+        reactor.on_reading(reading(kernel, 0.9))
+        assert tier.calls == ["grow"]
+        assert reactor.decisions_suppressed == 1
+
+
+class TestPlannerEndToEnd:
+    def test_planner_handles_big_step(self):
+        """A large load step: the planner provisions the DB tier out and
+        back with its own target, no hand-set min/max band."""
+        profile = PiecewiseProfile(
+            [(0.0, 80), (120.0, 400), (900.0, 80)], duration_s=1400.0
+        )
+        cfg = ExperimentConfig(
+            profile=profile,
+            seed=14,
+            db_loop=LoopConfig(window_s=90.0, planner=True, planner_target=0.55),
+            app_loop=LoopConfig(window_s=60.0, planner=True, planner_target=0.55),
+        )
+        system = ManagedSystem(cfg)
+        col = system.run()
+        assert system.db_tier.grows_completed >= 2
+        assert system.db_tier.shrinks_completed >= 1
+        # Latency was kept interactive through the step.
+        tail = col.latencies.window(600.0, 900.0)
+        assert tail.mean() < 0.5
+        # Utilization settled near the target after scaling.
+        settled = col.tier_cpu["database"].window(700.0, 900.0)
+        assert settled.mean() < 0.75

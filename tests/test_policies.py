@@ -1,0 +1,161 @@
+"""Unit + property tests for the load-balancing policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.legacy.policies import (
+    LeastPendingPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    WeightedRoundRobinPolicy,
+    make_policy,
+)
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        p = RoundRobinPolicy()
+        items = ["a", "b", "c"]
+        assert [p.choose(items) for _ in range(6)] == ["a", "b", "c", "a", "b", "c"]
+
+    def test_handles_shrinking_list(self):
+        p = RoundRobinPolicy()
+        p.choose(["a", "b", "c"])
+        p.choose(["a", "b", "c"])
+        assert p.choose(["a"]) == "a"
+
+    def test_reset(self):
+        p = RoundRobinPolicy()
+        p.choose(["a", "b"])
+        p.reset()
+        assert p.choose(["a", "b"]) == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(IndexError):
+            RoundRobinPolicy().choose([])
+
+
+class TestRandom:
+    def test_covers_all_backends(self):
+        p = RandomPolicy(np.random.default_rng(0))
+        seen = {p.choose(["a", "b", "c"]) for _ in range(100)}
+        assert seen == {"a", "b", "c"}
+
+    def test_roughly_uniform(self):
+        p = RandomPolicy(np.random.default_rng(0))
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[p.choose(["a", "b"])] += 1
+        assert abs(counts["a"] - counts["b"]) < 200
+
+    def test_empty_rejected(self):
+        with pytest.raises(IndexError):
+            RandomPolicy().choose([])
+
+
+class TestLeastPending:
+    def test_picks_lowest(self):
+        loads = {"a": 5, "b": 1, "c": 3}
+        p = LeastPendingPolicy(lambda x: loads[x])
+        assert p.choose(["a", "b", "c"]) == "b"
+
+    def test_tie_breaks_on_order(self):
+        loads = {"a": 2, "b": 2}
+        p = LeastPendingPolicy(lambda x: loads[x])
+        assert p.choose(["a", "b"]) == "a"
+
+    def test_adapts_to_changing_load(self):
+        loads = {"a": 0, "b": 0}
+        p = LeastPendingPolicy(lambda x: loads[x])
+        first = p.choose(["a", "b"])
+        loads[first] += 10
+        assert p.choose(["a", "b"]) != first
+
+
+class TestWeightedRoundRobin:
+    def test_respects_weights(self):
+        weights = {"heavy": 3.0, "light": 1.0}
+        p = WeightedRoundRobinPolicy(lambda x: weights[x])
+        picks = [p.choose(["heavy", "light"]) for _ in range(40)]
+        assert picks.count("heavy") == 30
+        assert picks.count("light") == 10
+
+    def test_equal_weights_behave_like_rr(self):
+        p = WeightedRoundRobinPolicy(lambda x: 1.0)
+        picks = [p.choose(["a", "b"]) for _ in range(6)]
+        assert picks.count("a") == 3 and picks.count("b") == 3
+
+    def test_smoothness(self):
+        """Smooth WRR never picks the same backend more than
+        ceil(w_max/w_min) times in a row for a 2-backend set."""
+        weights = {"x": 2.0, "y": 1.0}
+        p = WeightedRoundRobinPolicy(lambda c: weights[c])
+        picks = [p.choose(["x", "y"]) for _ in range(30)]
+        longest = cur = 1
+        for a, b in zip(picks, picks[1:]):
+            cur = cur + 1 if a == b else 1
+            longest = max(longest, cur)
+        assert longest <= 2
+
+    def test_zero_weight_rejected(self):
+        p = WeightedRoundRobinPolicy(lambda x: 0.0)
+        with pytest.raises(ValueError):
+            p.choose(["a"])
+
+
+class TestMakePolicy:
+    def test_names(self):
+        assert isinstance(make_policy("Random"), RandomPolicy)
+        assert isinstance(make_policy("roundrobin"), RoundRobinPolicy)
+        assert isinstance(make_policy("round-robin"), RoundRobinPolicy)
+        assert isinstance(
+            make_policy("LeastPendingRequestsFirst", pending_fn=lambda x: 0),
+            LeastPendingPolicy,
+        )
+        assert isinstance(
+            make_policy("wrr", weight_fn=lambda x: 1.0), WeightedRoundRobinPolicy
+        )
+
+    def test_least_pending_requires_fn(self):
+        with pytest.raises(ValueError):
+            make_policy("leastpending")
+
+    def test_wrr_requires_fn(self):
+        with pytest.raises(ValueError):
+            make_policy("wrr")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("quantum")
+
+
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    rounds=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_round_robin_is_fair_over_full_cycles(n, rounds):
+    """Over k full cycles every backend is chosen exactly k times."""
+    p = RoundRobinPolicy()
+    items = list(range(n))
+    picks = [p.choose(items) for _ in range(n * rounds)]
+    for item in items:
+        assert picks.count(item) == rounds
+
+
+@given(
+    weights=st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=5)
+)
+@settings(max_examples=40, deadline=None)
+def test_wrr_exact_proportions_over_weight_sum(weights):
+    """Over sum(weights) picks, backend i is chosen exactly weights[i]
+    times (the defining property of smooth weighted round-robin)."""
+    table = {f"b{i}": float(w) for i, w in enumerate(weights)}
+    p = WeightedRoundRobinPolicy(lambda c: table[c])
+    items = list(table)
+    total = int(sum(weights))
+    picks = [p.choose(items) for _ in range(total)]
+    for name, w in table.items():
+        assert picks.count(name) == int(w)

@@ -1,0 +1,254 @@
+"""Unit and property tests for the CPU models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import CpuJob, FifoCpu, PsCpu, SimKernel, ThrashingCurve
+from repro.simulation.resources import ResourceStopped, constant_capacity
+
+
+def run_jobs(cpu, kernel, demands, submit_times=None):
+    jobs = []
+    for i, demand in enumerate(demands):
+        t = 0.0 if submit_times is None else submit_times[i]
+        job = CpuJob(kernel, demand)
+        kernel.schedule_at(t, cpu.submit, job)
+        jobs.append(job)
+    kernel.run()
+    return jobs
+
+
+class TestPsCpu:
+    def test_single_job_takes_its_demand(self, kernel):
+        cpu = PsCpu(kernel)
+        (job,) = run_jobs(cpu, kernel, [2.5])
+        assert job.completed_at == pytest.approx(2.5)
+
+    def test_equal_jobs_share_equally(self, kernel):
+        cpu = PsCpu(kernel)
+        jobs = run_jobs(cpu, kernel, [1.0, 1.0, 1.0])
+        for job in jobs:
+            assert job.completed_at == pytest.approx(3.0)
+
+    def test_short_job_finishes_first(self, kernel):
+        cpu = PsCpu(kernel)
+        short, long_ = run_jobs(cpu, kernel, [1.0, 3.0])
+        # Both share until the short one finishes at t=2 (each got 1s of
+        # service); the long one then runs alone for its remaining 2s.
+        assert short.completed_at == pytest.approx(2.0)
+        assert long_.completed_at == pytest.approx(4.0)
+
+    def test_late_arrival_shares_remaining(self, kernel):
+        cpu = PsCpu(kernel)
+        a, b = run_jobs(cpu, kernel, [2.0, 2.0], submit_times=[0.0, 1.0])
+        # a runs alone [0,1] (1s served), then shares: a needs 1 more
+        # => at rate 1/2 finishes at t=3; b then alone, 1s left, t=4.
+        assert a.completed_at == pytest.approx(3.0)
+        assert b.completed_at == pytest.approx(4.0)
+
+    def test_speed_scales_service(self, kernel):
+        cpu = PsCpu(kernel, speed=2.0)
+        (job,) = run_jobs(cpu, kernel, [3.0])
+        assert job.completed_at == pytest.approx(1.5)
+
+    def test_zero_demand_completes_immediately(self, kernel):
+        cpu = PsCpu(kernel)
+        job = CpuJob(kernel, 0.0)
+        cpu.submit(job)
+        assert job.done.fired
+        assert job.completed_at == 0.0
+
+    def test_busy_time_accounting(self, kernel):
+        cpu = PsCpu(kernel)
+        run_jobs(cpu, kernel, [1.0, 1.0], submit_times=[0.0, 5.0])
+        # busy [0,1] and [5,6]
+        assert cpu.busy_time() == pytest.approx(2.0)
+
+    def test_busy_time_with_overlap_counts_wall_clock(self, kernel):
+        cpu = PsCpu(kernel)
+        run_jobs(cpu, kernel, [1.0, 1.0], submit_times=[0.0, 0.0])
+        assert cpu.busy_time() == pytest.approx(2.0)  # both finish at t=2
+
+    def test_completed_and_service_counters(self, kernel):
+        cpu = PsCpu(kernel)
+        run_jobs(cpu, kernel, [0.5, 1.5])
+        assert cpu.completed == 2
+        assert cpu.service_delivered == pytest.approx(2.0)
+
+    def test_abort_all_fails_jobs(self, kernel):
+        cpu = PsCpu(kernel)
+        job = CpuJob(kernel, 10.0)
+        cpu.submit(job)
+        errors = []
+        job.done.add_callback(lambda s: errors.append(s.error))
+        kernel.schedule(1.0, cpu.abort_all)
+        kernel.run()
+        assert isinstance(errors[0], ResourceStopped)
+        assert cpu.active_jobs == 0
+
+    def test_submit_after_abort_works(self, kernel):
+        cpu = PsCpu(kernel)
+        first = CpuJob(kernel, 10.0)
+        cpu.submit(first)
+        first.done.add_callback(lambda s: None)
+        kernel.schedule(1.0, cpu.abort_all)
+        kernel.run()
+        fresh = CpuJob(kernel, 1.0)
+        cpu.submit(fresh)
+        kernel.run()
+        assert fresh.completed_at == pytest.approx(kernel.now)
+
+    def test_negative_demand_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            CpuJob(kernel, -1.0)
+
+    def test_thrashing_slows_service(self, kernel):
+        curve = ThrashingCurve(knee=2, slope=1.0, floor=0.01)
+        cpu = PsCpu(kernel, capacity_model=curve)
+        # 4 jobs: capacity(4) = 1/(1+2) = 1/3; per-job rate 1/12.
+        jobs = run_jobs(cpu, kernel, [1.0] * 4)
+        assert all(j.completed_at > 4.0 for j in jobs)
+
+    def test_sojourn_property(self, kernel):
+        cpu = PsCpu(kernel)
+        (job,) = run_jobs(cpu, kernel, [2.0])
+        assert job.sojourn == pytest.approx(2.0)
+
+
+class TestFifoCpu:
+    def test_jobs_serve_in_order(self, kernel):
+        cpu = FifoCpu(kernel)
+        jobs = run_jobs(cpu, kernel, [1.0, 2.0, 0.5])
+        assert [j.completed_at for j in jobs] == [
+            pytest.approx(1.0),
+            pytest.approx(3.0),
+            pytest.approx(3.5),
+        ]
+
+    def test_busy_time(self, kernel):
+        cpu = FifoCpu(kernel)
+        run_jobs(cpu, kernel, [1.0, 1.0], submit_times=[0.0, 10.0])
+        assert cpu.busy_time() == pytest.approx(2.0)
+
+    def test_abort_clears_queue(self, kernel):
+        cpu = FifoCpu(kernel)
+        jobs = [CpuJob(kernel, 5.0) for _ in range(3)]
+        errors = []
+        for j in jobs:
+            cpu.submit(j)
+            j.done.add_callback(lambda s: errors.append(s.error))
+        kernel.schedule(1.0, cpu.abort_all)
+        kernel.run()
+        assert len(errors) == 3
+        assert all(isinstance(e, ResourceStopped) for e in errors)
+
+    def test_zero_demand(self, kernel):
+        cpu = FifoCpu(kernel)
+        job = CpuJob(kernel, 0.0)
+        cpu.submit(job)
+        assert job.done.fired
+
+    def test_speed(self, kernel):
+        cpu = FifoCpu(kernel, speed=4.0)
+        (job,) = run_jobs(cpu, kernel, [2.0])
+        assert job.completed_at == pytest.approx(0.5)
+
+
+class TestThrashingCurve:
+    def test_full_capacity_below_knee(self):
+        curve = ThrashingCurve(knee=10, slope=0.1)
+        assert curve(0) == 1.0
+        assert curve(10) == 1.0
+
+    def test_decay_above_knee(self):
+        curve = ThrashingCurve(knee=10, slope=0.1, floor=0.01)
+        assert curve(20) == pytest.approx(1.0 / 2.0)
+        assert curve(11) < 1.0
+
+    def test_floor_respected(self):
+        curve = ThrashingCurve(knee=0, slope=10.0, floor=0.25)
+        assert curve(1000) == 0.25
+
+    def test_monotone_nonincreasing(self):
+        curve = ThrashingCurve(knee=5, slope=0.3)
+        values = [curve(n) for n in range(50)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            ThrashingCurve(knee=-1)
+        with pytest.raises(ValueError):
+            ThrashingCurve(slope=-0.1)
+        with pytest.raises(ValueError):
+            ThrashingCurve(floor=0.0)
+
+    def test_constant_capacity_is_one(self):
+        assert constant_capacity(0) == 1.0
+        assert constant_capacity(10**6) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+@given(
+    demands=st.lists(
+        st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=12
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_ps_conserves_work(demands):
+    """Total service delivered equals total demand; the last completion is
+    exactly the sum of demands when all jobs arrive together (unit rate)."""
+    kernel = SimKernel()
+    cpu = PsCpu(kernel)
+    jobs = [CpuJob(kernel, d) for d in demands]
+    for j in jobs:
+        cpu.submit(j)
+    kernel.run()
+    assert cpu.service_delivered == pytest.approx(sum(demands))
+    last = max(j.completed_at for j in jobs)
+    assert last == pytest.approx(sum(demands), rel=1e-6)
+
+
+@given(
+    demands=st.lists(
+        st.floats(min_value=0.01, max_value=5.0), min_size=2, max_size=12
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_ps_completion_order_matches_demand_order(demands):
+    """With simultaneous arrivals, PS completes jobs in demand order."""
+    kernel = SimKernel()
+    cpu = PsCpu(kernel)
+    jobs = [CpuJob(kernel, d) for d in demands]
+    for j in jobs:
+        cpu.submit(j)
+    kernel.run()
+    by_demand = sorted(jobs, key=lambda j: j.demand)
+    completions = [j.completed_at for j in by_demand]
+    assert all(a <= b + 1e-9 for a, b in zip(completions, completions[1:]))
+
+
+@given(
+    demands=st.lists(
+        st.floats(min_value=0.01, max_value=3.0), min_size=1, max_size=10
+    ),
+    gaps=st.lists(st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_fifo_completions_are_sequential(demands, gaps):
+    kernel = SimKernel()
+    cpu = FifoCpu(kernel)
+    jobs = []
+    t = 0.0
+    for demand, gap in zip(demands, gaps):
+        t += gap
+        job = CpuJob(kernel, demand)
+        kernel.schedule_at(t, cpu.submit, job)
+        jobs.append(job)
+    kernel.run()
+    done = [j.completed_at for j in jobs]
+    assert all(a <= b + 1e-9 for a, b in zip(done, done[1:]))
+    assert cpu.service_delivered == pytest.approx(sum(demands[: len(gaps)]))

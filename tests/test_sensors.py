@@ -1,0 +1,205 @@
+"""Tests for the Jade sensors."""
+
+import math
+
+import pytest
+
+from repro.cluster import Node, make_nodes
+from repro.jade.sensors import (
+    CpuProbe,
+    HeartbeatSensor,
+    ResponseTimeProbe,
+    UtilizationSampler,
+)
+
+
+class TestUtilizationSampler:
+    def test_independent_observers(self, kernel):
+        node = Node(kernel, "n1")
+        a, b = UtilizationSampler(), UtilizationSampler()
+        node.run_job(1.0)
+        kernel.run(until=2.0)
+        # Both observers see the same history despite sampling separately.
+        assert a.sample(node) == pytest.approx(0.5)
+        assert b.sample(node) == pytest.approx(0.5)
+
+    def test_delta_semantics(self, kernel):
+        node = Node(kernel, "n1")
+        sampler = UtilizationSampler()
+        node.run_job(1.0)
+        kernel.run(until=1.0)
+        assert sampler.sample(node) == pytest.approx(1.0)
+        kernel.run(until=2.0)
+        assert sampler.sample(node) == pytest.approx(0.0)
+
+    def test_forget(self, kernel):
+        node = Node(kernel, "n1")
+        sampler = UtilizationSampler()
+        node.run_job(1.0)
+        kernel.run(until=1.0)
+        sampler.sample(node)
+        sampler.forget(node)
+        kernel.run(until=2.0)
+        # After forgetting, the next sample measures from t=0 again.
+        assert sampler.sample(node) == pytest.approx(0.5)
+
+
+class TestCpuProbe:
+    def test_periodic_sampling_and_smoothing(self, kernel):
+        nodes = make_nodes(kernel, 2)
+        probe = CpuProbe(kernel, lambda: nodes, window_s=10.0, period_s=1.0)
+        readings = []
+        probe.subscribe(readings.append)
+        probe.on_start()
+        # Load node1 fully for 5 s; node2 idle -> spatial average 0.5.
+        nodes[0].run_job(5.0)
+        kernel.run(until=5.0)
+        assert len(readings) == 5
+        assert readings[-1].raw == pytest.approx(0.5, abs=0.01)
+        assert readings[-1].smoothed == pytest.approx(0.5, abs=0.01)
+        assert readings[-1].node_count == 2
+
+    def test_moving_average_lags_raw(self, kernel):
+        nodes = make_nodes(kernel, 1)
+        probe = CpuProbe(kernel, lambda: nodes, window_s=60.0)
+        readings = []
+        probe.subscribe(readings.append)
+        probe.on_start()
+        kernel.run(until=30.0)  # idle 30 s
+        nodes[0].run_job(1e9)   # saturate forever
+        kernel.run(until=60.0)
+        last = readings[-1]
+        assert last.raw == pytest.approx(1.0)
+        assert 0.4 < last.smoothed < 0.6  # half the window was idle
+
+    def test_probe_cost_consumes_cpu(self, kernel):
+        nodes = make_nodes(kernel, 1)
+        probe = CpuProbe(
+            kernel, lambda: nodes, window_s=10.0, probe_demand_s=0.01
+        )
+        probe.on_start()
+        kernel.run(until=100.0)
+        assert nodes[0].cpu.busy_time() == pytest.approx(1.0, rel=0.05)
+
+    def test_down_nodes_skipped(self, kernel):
+        nodes = make_nodes(kernel, 2)
+        probe = CpuProbe(kernel, lambda: nodes, window_s=10.0)
+        readings = []
+        probe.subscribe(readings.append)
+        probe.on_start()
+        nodes[0].run_job(1e9)
+        nodes[1].crash()
+        kernel.run(until=3.0)
+        assert readings[-1].node_count == 1
+        assert readings[-1].raw == pytest.approx(1.0)
+
+    def test_empty_tier_produces_no_reading(self, kernel):
+        probe = CpuProbe(kernel, lambda: [], window_s=10.0)
+        readings = []
+        probe.subscribe(readings.append)
+        probe.on_start()
+        kernel.run(until=3.0)
+        assert readings == []
+        assert probe.samples_taken == 3
+
+    def test_stop_halts_sampling(self, kernel):
+        nodes = make_nodes(kernel, 1)
+        probe = CpuProbe(kernel, lambda: nodes, window_s=10.0)
+        probe.on_start()
+        kernel.run(until=2.0)
+        probe.on_stop()
+        kernel.run(until=10.0)
+        assert probe.samples_taken == 2
+        assert not probe.running
+
+    def test_dynamic_node_set_followed(self, kernel):
+        nodes = make_nodes(kernel, 2)
+        visible = [nodes[0]]
+        probe = CpuProbe(kernel, lambda: list(visible), window_s=5.0)
+        readings = []
+        probe.subscribe(readings.append)
+        probe.on_start()
+        kernel.run(until=2.0)
+        assert readings[-1].node_count == 1
+        visible.append(nodes[1])
+        kernel.run(until=4.0)
+        assert readings[-1].node_count == 2
+
+    def test_bad_period_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            CpuProbe(kernel, lambda: [], window_s=10.0, period_s=0.0)
+
+
+class FakeServer:
+    def __init__(self, node):
+        self.node = node
+        self.running = True
+
+
+class TestHeartbeatSensor:
+    def test_detects_node_crash_once(self, kernel):
+        nodes = make_nodes(kernel, 2)
+        servers = [FakeServer(n) for n in nodes]
+        sensor = HeartbeatSensor(kernel, lambda: servers)
+        detected = []
+        sensor.subscribe(detected.append)
+        sensor.on_start()
+        kernel.schedule(2.5, nodes[0].crash)
+        kernel.run(until=10.0)
+        assert detected == [servers[0]]
+        assert sensor.failures_detected == 1
+
+    def test_detects_process_death(self, kernel):
+        nodes = make_nodes(kernel, 1)
+        server = FakeServer(nodes[0])
+        sensor = HeartbeatSensor(kernel, lambda: [server])
+        detected = []
+        sensor.subscribe(detected.append)
+        sensor.on_start()
+
+        def kill():
+            server.running = False
+
+        kernel.schedule(3.0, kill)
+        kernel.run(until=6.0)
+        assert detected == [server]
+
+    def test_recovered_server_can_fail_again(self, kernel):
+        nodes = make_nodes(kernel, 1)
+        server = FakeServer(nodes[0])
+        sensor = HeartbeatSensor(kernel, lambda: [server])
+        detected = []
+        sensor.subscribe(detected.append)
+        sensor.on_start()
+        kernel.schedule(1.5, lambda: setattr(server, "running", False))
+        kernel.schedule(3.5, lambda: setattr(server, "running", True))
+        kernel.schedule(5.5, lambda: setattr(server, "running", False))
+        kernel.run(until=8.0)
+        assert detected == [server, server]
+
+    def test_stop(self, kernel):
+        server = FakeServer(make_nodes(kernel, 1)[0])
+        sensor = HeartbeatSensor(kernel, lambda: [server])
+        sensor.on_start()
+        sensor.on_stop()
+        server.running = False
+        kernel.run(until=5.0)
+        assert sensor.failures_detected == 0
+
+
+class TestResponseTimeProbe:
+    def test_smooths_latencies(self, kernel):
+        probe = ResponseTimeProbe(kernel, window_s=10.0)
+        seen = []
+        probe.subscribe(lambda t, v: seen.append(v))
+        for i in range(5):
+            probe.observe(float(i), 0.1 * (i + 1))
+        assert seen[-1] == pytest.approx(sum(0.1 * (i + 1) for i in range(5)) / 5)
+
+    def test_window_eviction(self, kernel):
+        probe = ResponseTimeProbe(kernel, window_s=2.0)
+        seen = []
+        probe.subscribe(lambda t, v: seen.append(v))
+        probe.observe(0.0, 10.0)
+        probe.observe(5.0, 1.0)
+        assert seen[-1] == pytest.approx(1.0)
