@@ -1,12 +1,20 @@
 # Convenience targets for the Jade reproduction.
 
-.PHONY: install test bench bench-quick figures examples clean
+.PHONY: install test lint bench bench-quick figures examples trace-demo clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+lint:
+	ruff check src tests benchmarks
+
+# Short self-sizing run with decision tracing on, then the causal timeline.
+trace-demo:
+	python -m repro ramp --scale 0.15 --peak 350 --trace /tmp/repro-trace.jsonl
+	python -m repro trace /tmp/repro-trace.jsonl
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

@@ -41,6 +41,18 @@ def _seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", "1"))
 
 
+def _trace_sink(label: str):
+    """Opt-in decision tracing for the figure runs: set REPRO_BENCH_TRACE
+    to a directory and each shared run dumps `<dir>/<label>.jsonl`
+    (render with `python -m repro trace <file>`)."""
+    trace_dir = os.environ.get("REPRO_BENCH_TRACE")
+    if not trace_dir:
+        return None
+    path = Path(trace_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    return str(path / f"{label}.jsonl")
+
+
 def ramp_profile() -> RampProfile:
     """The paper's §5.2 ramp (optionally compressed via REPRO_BENCH_SCALE,
     e.g. 0.5 halves every duration while keeping the same client counts)."""
@@ -56,7 +68,12 @@ def managed_ramp() -> ManagedSystem:
     """The Jade-managed ramp run (Figures 5, 6, 7, 9)."""
     if "managed" not in _cache:
         system = ManagedSystem(
-            ExperimentConfig(profile=ramp_profile(), seed=_seed(), managed=True)
+            ExperimentConfig(
+                profile=ramp_profile(),
+                seed=_seed(),
+                managed=True,
+                trace_jsonl=_trace_sink("ramp_managed"),
+            )
         )
         system.run()
         _cache["managed"] = system
@@ -67,7 +84,12 @@ def static_ramp() -> ManagedSystem:
     """The unmanaged ramp run (Figures 6, 7, 8 baselines)."""
     if "static" not in _cache:
         system = ManagedSystem(
-            ExperimentConfig(profile=ramp_profile(), seed=_seed(), managed=False)
+            ExperimentConfig(
+                profile=ramp_profile(),
+                seed=_seed(),
+                managed=False,
+                trace_jsonl=_trace_sink("ramp_static"),
+            )
         )
         system.run()
         _cache["static"] = system

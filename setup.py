@@ -11,4 +11,7 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24"],
+    extras_require={
+        "dev": ["pytest>=7", "pytest-benchmark", "hypothesis", "ruff"],
+    },
 )

@@ -33,6 +33,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--csv", metavar="FILE", default=None, help="write time series as CSV"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="dump the decision trace as JSONL (render with `repro trace FILE`)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +74,19 @@ def build_parser() -> argparse.ArgumentParser:
     recovery.add_argument("--crash-at", type=float, default=300.0)
     _add_common(recovery)
 
+    trace = sub.add_parser(
+        "trace", help="render a JSONL decision trace as a causal timeline"
+    )
+    trace.add_argument("file", help="trace file written by --trace")
+    trace.add_argument(
+        "--all",
+        action="store_true",
+        help="include probe readings (high-frequency; hidden by default)",
+    )
+    trace.add_argument(
+        "--tail", type=int, default=None, metavar="N", help="show only the last N events"
+    )
+
     return parser
 
 
@@ -100,9 +119,27 @@ def _write_csv(system: ManagedSystem, path: str) -> None:
     if path.endswith(".csv"):
         json_path = path[:-4] + ".json"
         write_json(
-            system.collector, json_path, horizon_s=system.config.profile.duration_s
+            system.collector,
+            json_path,
+            horizon_s=system.config.profile.duration_s,
+            tracer=system.tracer,
         )
         print(f"Summary report written to {json_path}")
+
+
+def _print_trace_note(system: ManagedSystem) -> None:
+    tracer = system.tracer
+    if tracer is None:
+        return
+    summary = tracer.summary()
+    print(
+        f"\nDecision trace: {summary['events']} events "
+        f"({summary['decisions_suppressed']} decisions suppressed, "
+        f"{summary['reconfigurations']['count']} reconfigurations)"
+    )
+    if tracer.sink_path:
+        print(f"  written to {tracer.sink_path} "
+              f"(render with: repro trace {tracer.sink_path})")
 
 
 def _run(config: ExperimentConfig, csv_path: Optional[str]) -> ManagedSystem:
@@ -115,6 +152,7 @@ def _run(config: ExperimentConfig, csv_path: Optional[str]) -> ManagedSystem:
     )
     system.run()
     _print_summary(system)
+    _print_trace_note(system)
     if csv_path:
         _write_csv(system, csv_path)
     return system
@@ -128,7 +166,8 @@ def cmd_ramp(args: argparse.Namespace) -> int:
         cooldown_s=300.0 * args.scale,
     )
     config = ExperimentConfig(
-        profile=profile, seed=args.seed, managed=not args.static
+        profile=profile, seed=args.seed, managed=not args.static,
+        trace_jsonl=args.trace,
     )
     _run(config, args.csv)
     return 0
@@ -139,6 +178,7 @@ def cmd_steady(args: argparse.Namespace) -> int:
         profile=ConstantProfile(args.clients, args.duration * args.scale),
         seed=args.seed,
         managed=not args.no_jade,
+        trace_jsonl=args.trace,
     )
     _run(config, args.csv)
     return 0
@@ -151,6 +191,7 @@ def cmd_recovery(args: argparse.Namespace) -> int:
         seed=args.seed,
         managed=False,
         recovery=True,
+        trace_jsonl=args.trace,
     )
     system = ManagedSystem(config)
     system.db_tier.grow()
@@ -163,6 +204,7 @@ def cmd_recovery(args: argparse.Namespace) -> int:
     system.kernel.schedule_at(args.crash_at, victim.node.crash)
     system.run()
     _print_summary(system)
+    _print_trace_note(system)
     controller = system.cjdbc.content.controller
     backends = controller.enabled_backends()
     digests = {b.server.state_digest for b in backends}
@@ -175,10 +217,30 @@ def cmd_recovery(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.timeline import render_timeline_file
+
+    try:
+        print(render_timeline_file(args.file, include_probes=args.all, tail=args.tail))
+    except BrokenPipeError:  # timeline piped into head/less and truncated
+        sys.stderr.close()
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"ramp": cmd_ramp, "steady": cmd_steady, "recovery": cmd_recovery}
-    return handlers[args.command](args)
+    handlers = {
+        "ramp": cmd_ramp,
+        "steady": cmd_steady,
+        "recovery": cmd_recovery,
+        "trace": cmd_trace,
+    }
+    try:
+        return handlers[args.command](args)
+    except OSError as exc:
+        # Unreadable trace file, unwritable --trace/--csv sink, ...
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -8,7 +8,7 @@ crashes and a Poisson crash process over a set of nodes.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 

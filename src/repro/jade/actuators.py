@@ -27,8 +27,14 @@ from repro.cluster.allocator import ClusterManager, NoFreeNodeError
 from repro.cluster.installer import SoftwareInstallationService
 from repro.cluster.node import Node
 from repro.fractal.component import Component
-from repro.fractal.controllers import LifecycleState
 from repro.metrics.collector import MetricsCollector
+from repro.obs.events import (
+    NodeAllocated,
+    NodeFailed,
+    NodeReleased,
+    ReconfigCompleted,
+    ReconfigStarted,
+)
 from repro.simulation.kernel import SimKernel
 from repro.simulation.process import Process, sleep, wait
 
@@ -93,6 +99,8 @@ class TierManager:
         self.name_prefix = name_prefix or tier_name
         self.replicas: list[ReplicaRecord] = []
         self.busy = False
+        #: optional decision tracer (set by the assembled system)
+        self.tracer = None
         self._next_id = 1
         self.grows_completed = 0
         self.shrinks_completed = 0
@@ -159,12 +167,42 @@ class TierManager:
         except NoFreeNodeError:
             self.grow_failures += 1
             self._event("grow-failed: no free node")
+            if self.tracer is not None:
+                self.tracer.emit(
+                    NodeFailed(
+                        self.kernel.now,
+                        node="",
+                        owner=f"tier:{self.tier_name}",
+                        reason="no-free-node",
+                    )
+                )
             return False
         self.busy = True
-        Process(self.kernel, self._grow_seq(node), name=f"grow:{self.tier_name}")
+        start_seq = None
+        if self.tracer is not None:
+            self.tracer.emit(
+                NodeAllocated(
+                    self.kernel.now,
+                    node=node.name,
+                    owner=f"tier:{self.tier_name}",
+                )
+            )
+            start_seq = self.tracer.emit(
+                ReconfigStarted(
+                    self.kernel.now,
+                    tier=self.tier_name,
+                    operation="grow",
+                    replicas=self.replica_count,
+                )
+            )
+        Process(
+            self.kernel,
+            self._grow_seq(node, start_seq, self.kernel.now),
+            name=f"grow:{self.tier_name}",
+        )
         return True
 
-    def _grow_seq(self, node: Node):
+    def _grow_seq(self, node: Node, start_seq=None, start_t: float = 0.0):
         name = f"{self.name_prefix}{self._next_id}"
         self._next_id += 1
         self._event(f"grow: allocating {node.name} for {name}")
@@ -197,6 +235,18 @@ class TierManager:
             self.grows_completed += 1
             self._record_count()
             self._event(f"grow: {name} active on {node.name}")
+            if self.tracer is not None:
+                self.tracer.emit(
+                    ReconfigCompleted(
+                        self.kernel.now,
+                        tier=self.tier_name,
+                        operation="grow",
+                        duration_s=self.kernel.now - start_t,
+                        replica_delta=1,
+                        replicas=self.replica_count,
+                        cause=start_seq,
+                    )
+                )
             self._notify_reconfigured()
         except Exception as exc:  # noqa: BLE001 - surfaced as an event
             self.grow_failures += 1
@@ -205,6 +255,28 @@ class TierManager:
                 self.cluster.release(node)
             except ValueError:
                 pass
+            if self.tracer is not None:
+                self.tracer.emit(
+                    NodeReleased(
+                        self.kernel.now,
+                        node=node.name,
+                        owner=f"tier:{self.tier_name}",
+                        cause=start_seq,
+                    )
+                )
+                self.tracer.emit(
+                    ReconfigCompleted(
+                        self.kernel.now,
+                        tier=self.tier_name,
+                        operation="grow",
+                        duration_s=self.kernel.now - start_t,
+                        replica_delta=0,
+                        replicas=self.replica_count,
+                        ok=False,
+                        error=str(exc),
+                        cause=start_seq,
+                    )
+                )
         finally:
             self.busy = False
             if self.arbitration is not None:
@@ -222,11 +294,26 @@ class TierManager:
         ):
             return False
         self.busy = True
+        before = self.replica_count
         record = self.replicas.pop()
-        Process(self.kernel, self._shrink_seq(record), name=f"shrink:{self.tier_name}")
+        start_seq = None
+        if self.tracer is not None:
+            start_seq = self.tracer.emit(
+                ReconfigStarted(
+                    self.kernel.now,
+                    tier=self.tier_name,
+                    operation="shrink",
+                    replicas=before,
+                )
+            )
+        Process(
+            self.kernel,
+            self._shrink_seq(record, start_seq, self.kernel.now),
+            name=f"shrink:{self.tier_name}",
+        )
         return True
 
-    def _shrink_seq(self, record: ReplicaRecord):
+    def _shrink_seq(self, record: ReplicaRecord, start_seq=None, start_t: float = 0.0):
         name = record.component.name
         self._event(f"shrink: retiring {name}")
         try:
@@ -243,6 +330,26 @@ class TierManager:
             self.shrinks_completed += 1
             self._record_count()
             self._event(f"shrink: {name} released {record.node.name}")
+            if self.tracer is not None:
+                self.tracer.emit(
+                    NodeReleased(
+                        self.kernel.now,
+                        node=record.node.name,
+                        owner=f"tier:{self.tier_name}",
+                        cause=start_seq,
+                    )
+                )
+                self.tracer.emit(
+                    ReconfigCompleted(
+                        self.kernel.now,
+                        tier=self.tier_name,
+                        operation="shrink",
+                        duration_s=self.kernel.now - start_t,
+                        replica_delta=-1,
+                        replicas=self.replica_count,
+                        cause=start_seq,
+                    )
+                )
             self._notify_reconfigured()
         finally:
             self.busy = False
@@ -267,6 +374,16 @@ class TierManager:
         self.replicas.remove(record)
         self._record_count()
         self._event(f"repair: {record.component.name} failed on {record.node.name}")
+        failed_seq = None
+        if self.tracer is not None:
+            failed_seq = self.tracer.emit(
+                NodeFailed(
+                    self.kernel.now,
+                    node=record.node.name,
+                    owner=f"tier:{self.tier_name}",
+                    reason="crashed",
+                )
+            )
         # Clean the management layer: mark failed, drop bindings, remove.
         record.component.lifecycle_controller.fail()
         if record.binding_instance is not None:
@@ -279,7 +396,15 @@ class TierManager:
         self.cluster.discard(record.node)
         if self.arbitration is not None:
             self.arbitration.complete("repair", self.tier_name)
-        started = self.grow()
+        if failed_seq is not None:
+            # The replacement grow is caused by the node failure.
+            self.tracer.push_cause(failed_seq)
+            try:
+                started = self.grow()
+            finally:
+                self.tracer.pop_cause()
+        else:
+            started = self.grow()
         if started:
             self.repairs_completed += 1
         return started

@@ -19,7 +19,7 @@ self-recovery and self-optimization managers sharing tiers and a node pool:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.simulation.kernel import SimKernel
 

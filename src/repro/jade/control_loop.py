@@ -23,6 +23,7 @@ from repro.fractal.interfaces import CLIENT, MANDATORY, SERVER, InterfaceType
 from repro.jade.actuators import TierManager
 from repro.jade.reactors import ThresholdReactor
 from repro.jade.sensors import CpuProbe, CpuReading
+from repro.obs.events import InhibitionAcquired, InhibitionRejected
 from repro.simulation.kernel import SimKernel
 
 
@@ -38,15 +39,24 @@ class InhibitionLock:
         self._until = -1.0
         self.acquisitions = 0
         self.rejections = 0
+        #: optional decision tracer (set by the assembled system)
+        self.tracer = None
 
-    def try_acquire(self) -> bool:
-        """Acquire if free; holds for ``duration_s`` from now."""
+    def try_acquire(self, who: str = "") -> bool:
+        """Acquire if free; holds for ``duration_s`` from now.  ``who``
+        names the acquiring loop in the decision trace."""
         now = self.kernel.now
         if now < self._until:
             self.rejections += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    InhibitionRejected(now, by=who, free_at=self._until)
+                )
             return False
         self._until = now + self.duration_s
         self.acquisitions += 1
+        if self.tracer is not None:
+            self.tracer.emit(InhibitionAcquired(now, by=who, until=self._until))
         return True
 
     @property
@@ -187,6 +197,8 @@ class ControlLoop:
         reactor_comp.bind("actuate", actuator_comp.get_interface("resize"))
         # Route the reactor's decisions through the actuate binding.
         reactor.tier = _TierThroughInterface(reactor_comp)
+        # The loop's name identifies the reactor in decision traces.
+        reactor.name = name
         # Reconfigurations invalidate the probe's history: samples taken
         # against the previous replica set no longer describe the system.
         reactor.probe = probe

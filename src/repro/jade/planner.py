@@ -24,6 +24,7 @@ import math
 from typing import TYPE_CHECKING, Optional
 
 from repro.jade.sensors import CpuReading
+from repro.obs.events import Decision, DecisionAction, DecisionReason
 from repro.simulation.kernel import SimKernel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,6 +50,7 @@ class PlannerReactor:
         max_replicas: Optional[int] = None,
         warmup_samples: int = 5,
         fresh_samples_required: int = 30,
+        name: str = "planner",
     ) -> None:
         if not 0.0 < target_utilization < 1.0:
             raise ValueError("target utilization must be in (0, 1)")
@@ -65,11 +67,15 @@ class PlannerReactor:
         self.max_replicas = max_replicas
         self.warmup_samples = warmup_samples
         self.fresh_samples_required = fresh_samples_required
+        self.name = name
         self.probe = None
+        #: optional decision tracer (set by the assembled system)
+        self.tracer = None
         self._samples_seen = 0
         self.grows_triggered = 0
         self.shrinks_triggered = 0
         self.decisions_suppressed = 0
+        self.no_data_decisions = 0
         self.plans: list[tuple[float, int, int]] = []  # (t, from, to)
 
     # ------------------------------------------------------------------
@@ -89,6 +95,12 @@ class PlannerReactor:
         self._samples_seen += 1
         if self._samples_seen < self.warmup_samples:
             return
+        if reading.smoothed != reading.smoothed:  # NaN
+            # math.ceil(NaN) would raise below; an empty tier or reset
+            # window is an explicit no-data non-decision instead.
+            self.no_data_decisions += 1
+            self._emit(DecisionAction.NONE, False, DecisionReason.NO_DATA, reading)
+            return
         if (
             self.probe is not None
             and self.probe.window.sample_count < self.fresh_samples_required
@@ -104,17 +116,58 @@ class PlannerReactor:
         desired = self.desired_replicas(reading.smoothed, current)
         if desired == current:
             return
-        if not self.inhibition.try_acquire():
+        if not self.inhibition.try_acquire(self.name):
             self.decisions_suppressed += 1
+            self._emit(
+                DecisionAction.GROW if desired > current else DecisionAction.SHRINK,
+                False,
+                DecisionReason.INHIBITED,
+                reading,
+            )
             return
         self.plans.append((self.kernel.now, current, desired))
-        if desired > current:
-            if self.tier.grow():
+        action = DecisionAction.GROW if desired > current else DecisionAction.SHRINK
+        reason = (
+            DecisionReason.ABOVE_MAX if desired > current else DecisionReason.BELOW_MIN
+        )
+        seq = self._emit(action, True, reason, reading)
+        if seq is not None:
+            self.tracer.push_cause(seq)
+        try:
+            ok = self.tier.grow() if desired > current else self.tier.shrink()
+        finally:
+            if seq is not None:
+                self.tracer.pop_cause()
+        if ok:
+            if desired > current:
                 self.grows_triggered += 1
             else:
-                self.decisions_suppressed += 1
-        else:
-            if self.tier.shrink():
                 self.shrinks_triggered += 1
-            else:
-                self.decisions_suppressed += 1
+        else:
+            self.decisions_suppressed += 1
+            self._emit(
+                action, False, DecisionReason.ACTUATOR_BUSY, reading, cause=seq
+            )
+
+    def _emit(
+        self,
+        action: str,
+        executed: bool,
+        reason: str,
+        reading: CpuReading,
+        cause: Optional[int] = None,
+    ) -> Optional[int]:
+        if self.tracer is None:
+            return None
+        return self.tracer.emit(
+            Decision(
+                self.kernel.now,
+                source=self.name,
+                action=action,
+                executed=executed,
+                reason=reason,
+                smoothed=reading.smoothed,
+                replicas=self.tier.replica_count,
+                cause=cause,
+            )
+        )

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.jade.sensors import CpuReading
+from repro.obs.events import Decision, DecisionAction, DecisionReason
 from repro.simulation.kernel import SimKernel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -44,6 +45,7 @@ class ThresholdReactor:
         max_replicas: Optional[int] = None,
         warmup_samples: int = 5,
         fresh_samples_required: int = 30,
+        name: str = "reactor",
     ) -> None:
         if not 0.0 <= min_threshold < max_threshold <= 1.0:
             raise ValueError(
@@ -54,6 +56,7 @@ class ThresholdReactor:
         self.kernel = kernel
         self.tier = tier
         self.inhibition = inhibition
+        self.name = name
         self.max_threshold = max_threshold
         self.min_threshold = min_threshold
         self.min_replicas = min_replicas
@@ -67,15 +70,27 @@ class ThresholdReactor:
         #: assembly); when present, its moving average is reset whenever the
         #: tier reconfigures
         self.probe = None
+        #: optional decision tracer (set by the assembled system)
+        self.tracer = None
         self._samples_seen = 0
         self.grows_triggered = 0
         self.shrinks_triggered = 0
         self.decisions_suppressed = 0
+        self.no_data_decisions = 0
 
     # -- the sensor pushes readings here -----------------------------------
     def on_reading(self, reading: CpuReading) -> None:
         self._samples_seen += 1
         if self._samples_seen < self.warmup_samples:
+            return
+        if reading.smoothed != reading.smoothed:  # NaN
+            # An empty tier or a freshly-reset moving average yields NaN,
+            # which would silently fail both threshold comparisons; make
+            # the non-decision explicit instead.
+            self.no_data_decisions += 1
+            self._emit(
+                DecisionAction.NONE, False, DecisionReason.NO_DATA, reading
+            )
             return
         if (
             self.probe is not None
@@ -83,30 +98,91 @@ class ThresholdReactor:
         ):
             return
         if reading.smoothed > self.max_threshold:
-            self._try_grow()
+            self._try_grow(reading)
         elif reading.smoothed < self.min_threshold:
-            self._try_shrink()
+            self._try_shrink(reading)
 
     # ------------------------------------------------------------------
-    def _try_grow(self) -> None:
+    def _emit(
+        self,
+        action: str,
+        executed: bool,
+        reason: str,
+        reading: CpuReading,
+        cause: Optional[int] = None,
+    ) -> Optional[int]:
+        if self.tracer is None:
+            return None
+        return self.tracer.emit(
+            Decision(
+                self.kernel.now,
+                source=self.name,
+                action=action,
+                executed=executed,
+                reason=reason,
+                smoothed=reading.smoothed,
+                replicas=self.tier.replica_count,
+                cause=cause,
+            )
+        )
+
+    def _actuate(self, operation, action: str, reading: CpuReading) -> bool:
+        """Emit the executed decision, then actuate under its causal scope
+        (the actuator's ReconfigStarted/NodeAllocated events link back to
+        the decision).  A rejected actuation is recorded as a follow-up
+        suppressed decision caused by the retracted one."""
+        seq = self._emit(action, True, (
+            DecisionReason.ABOVE_MAX
+            if action == DecisionAction.GROW
+            else DecisionReason.BELOW_MIN
+        ), reading)
+        if seq is None:
+            return operation()
+        self.tracer.push_cause(seq)
+        try:
+            ok = operation()
+        finally:
+            self.tracer.pop_cause()
+        if not ok:
+            self._emit(
+                action, False, DecisionReason.ACTUATOR_BUSY, reading, cause=seq
+            )
+        return ok
+
+    def _try_grow(self, reading: CpuReading) -> None:
         if self.max_replicas is not None and self.tier.replica_count >= self.max_replicas:
             self.decisions_suppressed += 1
+            self._emit(
+                DecisionAction.GROW, False, DecisionReason.AT_CAP, reading
+            )
             return
-        if not self.inhibition.try_acquire():
+        if not self.inhibition.try_acquire(self.name):
             self.decisions_suppressed += 1
+            self._emit(
+                DecisionAction.GROW, False, DecisionReason.INHIBITED, reading
+            )
             return
-        if not self.tier.grow():
+        if not self._actuate(self.tier.grow, DecisionAction.GROW, reading):
             self.decisions_suppressed += 1
             return
         self.grows_triggered += 1
 
-    def _try_shrink(self) -> None:
+    def _try_shrink(self, reading: CpuReading) -> None:
         if self.tier.replica_count <= self.min_replicas:
-            return
-        if not self.inhibition.try_acquire():
+            # Symmetric with the at-cap path above: a shrink suppressed at
+            # the replica floor counts (and is traced) too.
             self.decisions_suppressed += 1
+            self._emit(
+                DecisionAction.SHRINK, False, DecisionReason.AT_FLOOR, reading
+            )
             return
-        if not self.tier.shrink():
+        if not self.inhibition.try_acquire(self.name):
+            self.decisions_suppressed += 1
+            self._emit(
+                DecisionAction.SHRINK, False, DecisionReason.INHIBITED, reading
+            )
+            return
+        if not self._actuate(self.tier.shrink, DecisionAction.SHRINK, reading):
             self.decisions_suppressed += 1
             return
         self.shrinks_triggered += 1
@@ -142,16 +218,16 @@ class AdaptiveThresholdReactor(ThresholdReactor):
         self._last_adapt_t = 0.0
         self.adaptations = 0
 
-    def _try_grow(self) -> None:
+    def _try_grow(self, reading: CpuReading) -> None:
         before = self.grows_triggered
-        super()._try_grow()
+        super()._try_grow(reading)
         if self.grows_triggered > before:
             self._last_grow_t = self.kernel.now
             self._maybe_adapt()
 
-    def _try_shrink(self) -> None:
+    def _try_shrink(self, reading: CpuReading) -> None:
         before = self.shrinks_triggered
-        super()._try_shrink()
+        super()._try_shrink(reading)
         if self.shrinks_triggered > before:
             self._last_shrink_t = self.kernel.now
             self._maybe_adapt()

@@ -15,7 +15,7 @@ uniform component interface.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.fractal.component import Component
 from repro.fractal.interfaces import Interface

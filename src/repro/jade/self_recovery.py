@@ -20,6 +20,7 @@ from repro.fractal.component import Component
 from repro.jade.actuators import TierManager
 from repro.jade.sensors import HeartbeatSensor
 from repro.metrics.collector import MetricsCollector
+from repro.obs.events import NodeFailed
 from repro.simulation.kernel import PeriodicTask, SimKernel
 
 
@@ -46,6 +47,8 @@ class SelfRecoveryManager:
         self._retry_task: Optional[PeriodicTask] = None
         self.failures_seen = 0
         self.repairs_started = 0
+        #: optional decision tracer (set by the assembled system)
+        self.tracer = None
         # The manager is itself a component (Jade administrates itself).
         self.composite = Component("self-recovery-manager", composite=True)
         self.composite.content_controller.add(
@@ -76,7 +79,24 @@ class SelfRecoveryManager:
                 self.kernel.now,
                 f"[recovery] detected failure of {component.name}",
             )
-        if tier.repair(component):
+        if self.tracer is not None:
+            node = getattr(server, "node", None)
+            seq = self.tracer.emit(
+                NodeFailed(
+                    self.kernel.now,
+                    node=node.name if node is not None else "",
+                    owner=f"tier:{tier.tier_name}",
+                    reason="heartbeat",
+                )
+            )
+            self.tracer.push_cause(seq)
+            try:
+                repaired = tier.repair(component)
+            finally:
+                self.tracer.pop_cause()
+        else:
+            repaired = tier.repair(component)
+        if repaired:
             self.repairs_started += 1
         else:
             self._pending.append((tier, component))

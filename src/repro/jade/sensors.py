@@ -19,6 +19,7 @@ from typing import Callable, Iterable, Optional
 
 from repro.cluster.node import Node
 from repro.metrics.aggregates import MovingAverage, spatial_average
+from repro.obs.events import ProbeReading
 from repro.simulation.kernel import PeriodicTask, SimKernel
 
 
@@ -34,11 +35,20 @@ class UtilizationSampler:
         self._anchors: dict[str, tuple[float, float]] = {}
 
     def sample(self, node: Node) -> float:
-        """Utilization of ``node`` since this sampler last looked at it."""
+        """Utilization of ``node`` since this sampler last looked at it.
+
+        The first observation of a node only *seeds* the anchor and reads
+        0.0: a replica grown at t=500 s must not have its first sample
+        averaged over [0, 500] (which would under-report CPU and invite an
+        immediate spurious shrink) — there is simply no delta yet.
+        """
         now = node.kernel.now
         busy = node.cpu.busy_time()
-        last_t, last_busy = self._anchors.get(node.name, (0.0, 0.0))
+        anchor = self._anchors.get(node.name)
         self._anchors[node.name] = (now, busy)
+        if anchor is None:
+            return 0.0
+        last_t, last_busy = anchor
         span = now - last_t
         if span <= 0.0:
             return 0.0
@@ -90,6 +100,8 @@ class CpuProbe:
         self.window = MovingAverage(window_s)
         self.sampler = UtilizationSampler()
         self.samples_taken = 0
+        #: optional decision tracer (set by the assembled system)
+        self.tracer = None
         self._listeners: list[ReadingListener] = []
         self._task: Optional[PeriodicTask] = None
 
@@ -122,6 +134,16 @@ class CpuProbe:
             return
         smoothed = self.window.add(self.kernel.now, raw)
         reading = CpuReading(self.kernel.now, smoothed, raw, len(nodes))
+        if self.tracer is not None:
+            self.tracer.emit(
+                ProbeReading(
+                    self.kernel.now,
+                    probe=self.name,
+                    smoothed=smoothed,
+                    raw=raw,
+                    nodes=len(nodes),
+                )
+            )
         for listener in list(self._listeners):
             listener(reading)
 

@@ -39,6 +39,8 @@ from repro.jade.sensors import UtilizationSampler
 from repro.legacy.cjdbc import BackendState
 from repro.metrics.collector import MetricsCollector
 from repro.legacy.directory import Directory
+from repro.obs.events import KernelStats
+from repro.obs.tracer import Tracer
 from repro.simulation.kernel import SimKernel
 from repro.simulation.resources import ThrashingCurve
 from repro.simulation.rng import RngStreams
@@ -101,6 +103,15 @@ class ExperimentConfig:
     #: browsers abandon requests after this long (None = the paper's
     #: patient emulator)
     client_timeout_s: Optional[float] = None
+    #: collect decision traces (zero-cost when False: no tracer is wired)
+    trace: bool = False
+    #: JSONL sink for the trace (implies ``trace``)
+    trace_jsonl: Optional[str] = None
+    #: in-memory trace ring size
+    trace_ring: int = 65536
+    #: run identifier stamped on every trace record (default derived from
+    #: the seed, so re-runs are comparable)
+    trace_run_id: Optional[str] = None
 
 
 class ManagedSystem:
@@ -304,6 +315,34 @@ class ManagedSystem:
         self._node_sampler = UtilizationSampler()
         self._sampling_task = None
 
+        # --- decision tracing (opt-in; None everywhere when disabled) ----
+        self.tracer = None
+        if cfg.trace or cfg.trace_jsonl:
+            self.tracer = Tracer(
+                run_id=cfg.trace_run_id or f"run-seed{cfg.seed}",
+                ring_size=cfg.trace_ring,
+                sink_path=cfg.trace_jsonl,
+            )
+            self._wire_tracer(self.tracer)
+
+    def _wire_tracer(self, tracer) -> None:
+        """Attach the tracer to every emission point of the control loops."""
+        self.app_tier.tracer = tracer
+        self.db_tier.tracer = tracer
+        if isinstance(self.optimizer, SelfOptimizationManager):
+            self.optimizer.inhibition.tracer = tracer
+            for loop in self.optimizer.loops.values():
+                loop.probe.tracer = tracer
+                loop.reactor.tracer = tracer
+        elif self.optimizer is not None:
+            # Latency-SLO manager: the lock still traces; its reactor
+            # decisions surface through the tier events.
+            self.optimizer.inhibition.tracer = tracer
+        for probe in self._passive_probes:
+            probe.tracer = tracer
+        if self.recovery is not None:
+            self.recovery.tracer = tracer
+
     # ------------------------------------------------------------------
     def entry(self, request) -> None:
         """The system's front door (what the emulated browsers hit)."""
@@ -364,6 +403,16 @@ class ManagedSystem:
             self.optimizer.stop()
         if self.recovery is not None:
             self.recovery.stop()
+        if self.tracer is not None:
+            self.tracer.emit(
+                KernelStats(
+                    self.kernel.now,
+                    events_processed=self.kernel.events_processed,
+                    tombstones_skipped=self.kernel.tombstones_skipped,
+                    pending=self.kernel.pending,
+                )
+            )
+            self.tracer.flush()
         return self.collector
 
     # ------------------------------------------------------------------

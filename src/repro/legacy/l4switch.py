@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 
 from repro.cluster.network import Lan
 from repro.legacy.directory import Directory

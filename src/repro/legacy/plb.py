@@ -18,7 +18,7 @@ from typing import Optional
 from repro.cluster.network import Lan
 from repro.cluster.node import Node
 from repro.legacy.configfiles import PlbConf
-from repro.legacy.directory import Directory, EndpointNotFound
+from repro.legacy.directory import Directory
 from repro.legacy.policies import BalancingPolicy, make_policy
 from repro.legacy.requests import WebRequest
 from repro.legacy.server import LegacyServer, ServerNotRunning

@@ -14,7 +14,7 @@ can be added/removed without state reconciliation.
 from __future__ import annotations
 
 import re
-from typing import Optional, Union
+from typing import Optional
 
 from repro.cluster.network import Lan
 from repro.cluster.node import Node

@@ -10,7 +10,7 @@ average CPU load across all nodes" (§4.1): a *temporal* moving average
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 

@@ -59,9 +59,13 @@ def write_csv(
 
 
 def to_json_dict(
-    collector: MetricsCollector, horizon_s: Optional[float] = None
+    collector: MetricsCollector,
+    horizon_s: Optional[float] = None,
+    tracer=None,
 ) -> dict:
-    """A JSON-serializable report of the run."""
+    """A JSON-serializable report of the run.  When a decision ``tracer``
+    is supplied, its per-run summary (event counts, decisions by reason,
+    reconfiguration durations) is included under ``"trace"``."""
     stats = collector.latency_summary()
     report = {
         "requests": {
@@ -78,11 +82,16 @@ def to_json_dict(
     }
     if horizon_s is not None and collector.completed_requests:
         report["throughput_rps"] = collector.throughput(0.0, horizon_s)
+    if tracer is not None:
+        report["trace"] = tracer.summary()
     return report
 
 
 def write_json(
-    collector: MetricsCollector, path: str, horizon_s: Optional[float] = None
+    collector: MetricsCollector,
+    path: str,
+    horizon_s: Optional[float] = None,
+    tracer=None,
 ) -> None:
     with open(path, "w") as fh:
-        json.dump(to_json_dict(collector, horizon_s), fh, indent=2)
+        json.dump(to_json_dict(collector, horizon_s, tracer=tracer), fh, indent=2)

@@ -1,0 +1,55 @@
+"""obs — decision-trace observability for the autonomic control loops.
+
+The paper's managers make their decisions through introspectable Fractal
+components; this package makes the *decision flow* introspectable too:
+every probe reading, threshold decision (with a machine-readable
+suppression reason), inhibition-lock transition, reconfiguration and node
+movement becomes a typed, timestamped, causally-linked event.
+
+* :mod:`~repro.obs.events` — the event types and reason enums;
+* :mod:`~repro.obs.tracer` — ring buffer + JSONL sink + run summary;
+* :mod:`~repro.obs.timeline` — the ``repro trace`` causal renderer.
+
+Tracing is opt-in (``ExperimentConfig(trace=True)`` or ``--trace FILE``)
+and zero-cost when off: emission points hold ``tracer = None`` and every
+site guards with one attribute test.
+"""
+
+from repro.obs.events import (
+    Decision,
+    DecisionAction,
+    DecisionReason,
+    InhibitionAcquired,
+    InhibitionRejected,
+    KernelStats,
+    NodeAllocated,
+    NodeFailed,
+    NodeReleased,
+    ProbeReading,
+    ReconfigCompleted,
+    ReconfigStarted,
+    TraceEvent,
+)
+from repro.obs.tracer import Tracer, causal_chain, load_jsonl
+from repro.obs.timeline import render_timeline, render_timeline_file
+
+__all__ = [
+    "Decision",
+    "DecisionAction",
+    "DecisionReason",
+    "InhibitionAcquired",
+    "InhibitionRejected",
+    "KernelStats",
+    "NodeAllocated",
+    "NodeFailed",
+    "NodeReleased",
+    "ProbeReading",
+    "ReconfigCompleted",
+    "ReconfigStarted",
+    "TraceEvent",
+    "Tracer",
+    "causal_chain",
+    "load_jsonl",
+    "render_timeline",
+    "render_timeline_file",
+]

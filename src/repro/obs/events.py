@@ -1,0 +1,193 @@
+"""Typed trace events.
+
+The paper's argument (§3.4, §5.2) is that autonomic decisions flow through
+a uniform, introspectable component architecture: probe readings cross
+thresholds, reactors decide, the inhibition lock arbitrates, actuators
+reconfigure, the cluster manager moves nodes.  Each of those steps has a
+typed, timestamped event here, so a Fig. 5 replica-count staircase can be
+explained after the fact ("the DB tier grew at t=410 s because reading X
+crossed 0.75; the shrink at t=610 s was suppressed: inhibited").
+
+Every event is an immutable dataclass with a ``kind`` tag and an optional
+``cause`` — the sequence number of the event that led to it.  Causality is
+a chain: ``ReconfigCompleted.cause`` → ``ReconfigStarted.cause`` →
+``Decision`` — which is what the ``repro trace`` timeline renders and the
+integration tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import ClassVar, Optional
+
+
+class DecisionAction:
+    """Machine-readable decision actions (``Decision.action``)."""
+
+    GROW = "grow"
+    SHRINK = "shrink"
+    NONE = "none"
+
+
+class DecisionReason:
+    """Machine-readable decision reasons (``Decision.reason``).
+
+    Executed decisions carry the trigger (``above-max`` / ``below-min``);
+    suppressed decisions carry why they did not actuate.
+    """
+
+    ABOVE_MAX = "above-max"        # smoothed CPU crossed the grow threshold
+    BELOW_MIN = "below-min"        # smoothed CPU crossed the shrink threshold
+    AT_CAP = "at-cap"              # already at max_replicas
+    AT_FLOOR = "at-floor"          # already at min_replicas
+    INHIBITED = "inhibited"        # the shared inhibition lock is held
+    ACTUATOR_BUSY = "actuator-busy"  # the tier rejected the operation
+    NO_DATA = "no-data"            # the reading was NaN (empty window/tier)
+
+    SUPPRESSIONS = (AT_CAP, AT_FLOOR, INHIBITED, ACTUATOR_BUSY, NO_DATA)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base record: simulated time plus an optional causal parent."""
+
+    kind: ClassVar[str] = "event"
+
+    t: float
+    cause: Optional[int] = field(default=None, kw_only=True)
+
+    def to_record(self) -> dict:
+        """Flat dict for the JSONL sink (``kind`` included, ``cause`` only
+        when set — keeps lines compact)."""
+        record = {"kind": self.kind, **asdict(self)}
+        if record.get("cause") is None:
+            record.pop("cause", None)
+        return record
+
+
+@dataclass(frozen=True)
+class ProbeReading(TraceEvent):
+    """One sensor notification that reached the reactors."""
+
+    kind: ClassVar[str] = "probe-reading"
+
+    probe: str
+    smoothed: float
+    raw: float
+    nodes: int
+
+
+@dataclass(frozen=True)
+class Decision(TraceEvent):
+    """A reactor's verdict on one reading.
+
+    ``executed`` means the actuation was started; a suppressed decision
+    names why in ``reason`` (one of :class:`DecisionReason.SUPPRESSIONS`).
+    An executed decision that the actuator then rejects is followed by a
+    second, suppressed :class:`Decision` with ``reason='actuator-busy'``
+    and ``cause`` pointing at the retracted one.
+    """
+
+    kind: ClassVar[str] = "decision"
+
+    source: str        # reactor/loop name (e.g. "resize-db")
+    action: str        # DecisionAction
+    executed: bool
+    reason: str        # DecisionReason
+    smoothed: float
+    replicas: int
+
+
+@dataclass(frozen=True)
+class InhibitionAcquired(TraceEvent):
+    kind: ClassVar[str] = "inhibition-acquired"
+
+    by: str
+    until: float
+
+
+@dataclass(frozen=True)
+class InhibitionRejected(TraceEvent):
+    kind: ClassVar[str] = "inhibition-rejected"
+
+    by: str
+    free_at: float
+
+
+@dataclass(frozen=True)
+class ReconfigStarted(TraceEvent):
+    kind: ClassVar[str] = "reconfig-started"
+
+    tier: str
+    operation: str     # "grow" | "shrink" | "repair"
+    replicas: int      # count when the operation started
+
+
+@dataclass(frozen=True)
+class ReconfigCompleted(TraceEvent):
+    kind: ClassVar[str] = "reconfig-completed"
+
+    tier: str
+    operation: str
+    duration_s: float
+    replica_delta: int
+    replicas: int      # count after the operation
+    ok: bool = True
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class NodeAllocated(TraceEvent):
+    kind: ClassVar[str] = "node-allocated"
+
+    node: str
+    owner: str
+
+
+@dataclass(frozen=True)
+class NodeReleased(TraceEvent):
+    kind: ClassVar[str] = "node-released"
+
+    node: str
+    owner: str
+
+
+@dataclass(frozen=True)
+class NodeFailed(TraceEvent):
+    """A node could not be obtained or was lost (allocation failure,
+    crash detected by the heartbeat sensor, discard during repair)."""
+
+    kind: ClassVar[str] = "node-failed"
+
+    node: str          # "" when no node could be allocated at all
+    owner: str
+    reason: str        # "no-free-node" | "crashed" | ...
+
+
+@dataclass(frozen=True)
+class KernelStats(TraceEvent):
+    """Event-loop counters, emitted once at the end of a traced run."""
+
+    kind: ClassVar[str] = "kernel-stats"
+
+    events_processed: int
+    tombstones_skipped: int
+    pending: int
+
+
+#: kind string → event class (used by the timeline renderer for display).
+EVENT_KINDS = {
+    cls.kind: cls
+    for cls in (
+        ProbeReading,
+        Decision,
+        InhibitionAcquired,
+        InhibitionRejected,
+        ReconfigStarted,
+        ReconfigCompleted,
+        NodeAllocated,
+        NodeReleased,
+        NodeFailed,
+        KernelStats,
+    )
+}

@@ -1,0 +1,110 @@
+"""Causal timeline rendering for ``repro trace``.
+
+Turns a JSONL trace back into the story of a run: one line per event in
+emission order, with children indented under the event that caused them,
+so a Fig. 5 reconfiguration reads end-to-end::
+
+    t=  410.0s decision            resize-db: grow (above-max) cpu=0.78 replicas=1
+    t=  410.0s   inhibition-acquired resize-db holds until t=470.0s
+    t=  410.0s   node-allocated      node4 -> tier:database
+    t=  410.0s   reconfig-started    [database] grow (replicas 1)
+    t=  437.2s     reconfig-completed  [database] grow +1 in 27.2s (replicas 2)
+
+Probe readings are high-frequency noise on a causal timeline and are
+dropped by default; ``--all`` keeps them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.obs.tracer import load_jsonl
+
+
+def _describe(record: dict) -> str:
+    kind = record.get("kind", "?")
+    if kind == "probe-reading":
+        return (
+            f"{record['probe']}: smoothed={record['smoothed']:.3f} "
+            f"raw={record['raw']:.3f} nodes={record['nodes']}"
+        )
+    if kind == "decision":
+        state = "" if record["executed"] else " SUPPRESSED"
+        return (
+            f"{record['source']}: {record['action']} ({record['reason']})"
+            f"{state} cpu={record['smoothed']:.3f} replicas={record['replicas']}"
+        )
+    if kind == "inhibition-acquired":
+        return f"{record['by']} holds until t={record['until']:.1f}s"
+    if kind == "inhibition-rejected":
+        return f"{record['by']} blocked until t={record['free_at']:.1f}s"
+    if kind == "reconfig-started":
+        return (
+            f"[{record['tier']}] {record['operation']} "
+            f"(replicas {record['replicas']})"
+        )
+    if kind == "reconfig-completed":
+        delta = record["replica_delta"]
+        status = "" if record.get("ok", True) else f" FAILED: {record['error']}"
+        return (
+            f"[{record['tier']}] {record['operation']} {delta:+d} in "
+            f"{record['duration_s']:.1f}s (replicas {record['replicas']}){status}"
+        )
+    if kind == "node-allocated":
+        return f"{record['node']} -> {record['owner']}"
+    if kind == "node-released":
+        return f"{record['node']} <- {record['owner']}"
+    if kind == "node-failed":
+        node = record["node"] or "(none)"
+        return f"{node} for {record['owner']}: {record['reason']}"
+    if kind == "kernel-stats":
+        return (
+            f"events={record['events_processed']} "
+            f"tombstones={record['tombstones_skipped']} "
+            f"pending={record['pending']}"
+        )
+    return repr(record)
+
+
+def render_timeline(
+    records: Iterable[dict],
+    include_probes: bool = False,
+    tail: Optional[int] = None,
+) -> str:
+    """Render records (in emission order) as an indented causal timeline."""
+    shown = [
+        r
+        for r in records
+        if include_probes or r.get("kind") != "probe-reading"
+    ]
+    if tail is not None:
+        shown = shown[-tail:] if tail > 0 else []
+    visible = {r["seq"] for r in shown}
+    depths: dict[int, int] = {}
+    lines = []
+    for record in shown:
+        cause = record.get("cause")
+        depth = depths.get(cause, -1) + 1 if cause in visible else 0
+        depths[record["seq"]] = depth
+        indent = "  " * depth
+        lines.append(
+            f"t={record['t']:8.1f}s {indent}{record['kind']:<19s} "
+            f"{_describe(record)}"
+        )
+    if not lines:
+        return "(empty trace)"
+    return "\n".join(lines)
+
+
+def render_timeline_file(
+    path: str, include_probes: bool = False, tail: Optional[int] = None
+) -> str:
+    records = load_jsonl(path)
+    header = ""
+    if records:
+        run = records[0].get("run", "?")
+        header = (
+            f"trace {path}: run={run}, {len(records)} events, "
+            f"t=[{records[0]['t']:.1f}s .. {records[-1]['t']:.1f}s]\n"
+        )
+    return header + render_timeline(records, include_probes, tail)

@@ -74,6 +74,10 @@ class SimKernel:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: cancelled events discarded when they reached the heap head
+        #: (``pending`` counts them until then; they never count in
+        #: ``events_processed``)
+        self.tombstones_skipped = 0
 
     @property
     def now(self) -> float:
@@ -134,6 +138,7 @@ class SimKernel:
         while heap:
             ev = heapq.heappop(heap)
             if ev.cancelled:
+                self.tombstones_skipped += 1
                 continue
             self._now = ev.time
             fn, args = ev.fn, ev.args
@@ -156,11 +161,15 @@ class SimKernel:
         try:
             while heap and not self._stopped:
                 ev = heap[0]
+                if ev.cancelled:
+                    # Discard tombstones even past the horizon so ``pending``
+                    # reflects live events only.
+                    heapq.heappop(heap)
+                    self.tombstones_skipped += 1
+                    continue
                 if until is not None and ev.time > until:
                     break
                 heapq.heappop(heap)
-                if ev.cancelled:
-                    continue
                 self._now = ev.time
                 fn, args = ev.fn, ev.args
                 ev.fn, ev.args = None, ()

@@ -26,7 +26,6 @@ from repro.fractal.interfaces import (
 from repro.legacy.cjdbc import CJdbcController
 from repro.legacy.configfiles import CjdbcBackend, CjdbcXml
 from repro.legacy.directory import Directory
-from repro.legacy.mysql import MySqlServer
 from repro.simulation.kernel import SimKernel
 from repro.wrappers.base import LegacyWrapper, WrapperError
 from repro.wrappers.mysql import MySqlWrapper

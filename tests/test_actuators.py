@@ -3,7 +3,6 @@
 import pytest
 
 from repro.jade.system import ExperimentConfig, ManagedSystem
-from repro.legacy.cjdbc import BackendState
 from repro.workload.profiles import ConstantProfile
 
 

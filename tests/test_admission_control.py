@@ -1,8 +1,5 @@
 """Tests for the opt-in admission control (maxThreads / max_connections)."""
 
-import pytest
-
-from repro.legacy import ServerNotRunning, WebRequest
 
 
 def drain(kernel):

@@ -18,7 +18,6 @@ from hypothesis import strategies as st
 
 from repro.cluster import Lan, Node
 from repro.legacy import CJdbcController, Directory, MySqlServer, WebRequest
-from repro.legacy.cjdbc import BackendState
 from repro.legacy.configfiles import CjdbcBackend, CjdbcXml, MyCnf
 from repro.simulation import SimKernel
 

@@ -29,6 +29,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_trace_options(self):
+        args = build_parser().parse_args(
+            ["trace", "out.jsonl", "--all", "--tail", "25"]
+        )
+        assert args.file == "out.jsonl"
+        assert args.all
+        assert args.tail == 25
+
 
 class TestCommands:
     def test_steady_runs_and_prints_summary(self, capsys):
@@ -59,6 +67,27 @@ class TestCommands:
         assert "latency_s" in series
         assert "clients" in series
         assert any(s.startswith("cpu[") for s in series)
+
+    def test_trace_flag_then_render(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["steady", "--clients", "150", "--duration", "120",
+             "--trace", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Decision trace:" in out
+        assert str(path) in out
+        assert path.exists()
+
+        assert main(["trace", str(path)]) == 0
+        rendered = capsys.readouterr().out
+        assert "run=run-seed1" in rendered
+        assert "kernel-stats" in rendered
+        # Probe readings are hidden unless --all is passed.
+        assert "probe-reading" not in rendered
+        assert main(["trace", str(path), "--all", "--tail", "5"]) == 0
+        rendered = capsys.readouterr().out
+        assert "kernel-stats" in rendered
 
     def test_recovery_scenario(self, capsys):
         assert main(["recovery", "--clients", "30", "--crash-at", "100",

@@ -17,7 +17,6 @@ from repro.cluster import (
     SoftwareInstallationService,
     make_nodes,
 )
-from repro.simulation import SimKernel
 
 
 class TestFilesystem:

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.cluster import ClusterManager, Lan, NoFreeNodeError, Package, SoftwareInstallationService, make_nodes
+from repro.cluster import ClusterManager, NoFreeNodeError, Package, SoftwareInstallationService, make_nodes
 from repro.fractal import AdlError, parse_adl
 from repro.jade.deployment import DeploymentService
-from repro.legacy import Directory
 from repro.wrappers import default_factory_registry
 
 

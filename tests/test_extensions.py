@@ -3,13 +3,13 @@ rolling rebind."""
 
 import pytest
 
-from repro.jade.latency_optimization import LatencyOptimizationManager, SloReactor
+from repro.jade.latency_optimization import SloReactor
 from repro.jade.control_loop import InhibitionLock
 from repro.jade.rolling import RollingRebind, rolling_rebind
 from repro.jade.sensors import LatencySensor
 from repro.jade.system import ExperimentConfig, ManagedSystem
 from repro.jade.three_tier import ThreeTierSystem
-from repro.metrics import MetricsCollector, TimeSeries
+from repro.metrics import TimeSeries
 from repro.workload.profiles import PiecewiseProfile, RampProfile
 
 

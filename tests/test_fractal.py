@@ -7,11 +7,9 @@ from repro.fractal import (
     COLLECTION,
     Component,
     CompositeBinding,
-    FractalError,
     IllegalBindingError,
     IllegalContentError,
     IllegalLifecycleError,
-    Interface,
     InterfaceType,
     LifecycleState,
     MANDATORY,

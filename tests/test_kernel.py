@@ -139,6 +139,70 @@ def test_reentrant_run_rejected(kernel):
     kernel.run()
 
 
+class TestTombstones:
+    """Cancelled events are skipped, discarded, and accounted for."""
+
+    def test_cancelled_head_discarded_past_until(self, kernel):
+        out = []
+        late = kernel.schedule(10.0, out.append, "late")
+        kernel.schedule(1.0, out.append, "early")
+        late.cancel()
+        kernel.run(until=5.0)
+        # The tombstone sat at the heap head beyond the horizon; it must
+        # still be discarded rather than left pending forever.
+        assert out == ["early"]
+        assert kernel.pending == 0
+        assert kernel.tombstones_skipped == 1
+
+    def test_live_event_past_until_stays_pending(self, kernel):
+        kernel.schedule(10.0, lambda: None)
+        kernel.run(until=5.0)
+        assert kernel.pending == 1
+        assert kernel.tombstones_skipped == 0
+
+    def test_tombstones_not_counted_as_processed(self, kernel):
+        events = [kernel.schedule(1.0, lambda: None) for _ in range(5)]
+        for ev in events[:3]:
+            ev.cancel()
+        kernel.run()
+        assert kernel.events_processed == 2
+        assert kernel.tombstones_skipped == 3
+        assert kernel.pending == 0
+
+    def test_step_skips_tombstones(self, kernel):
+        out = []
+        kernel.schedule(1.0, out.append, "a").cancel()
+        kernel.schedule(2.0, out.append, "b")
+        assert kernel.step()
+        assert out == ["b"]
+        assert kernel.tombstones_skipped == 1
+        assert not kernel.step()
+
+    def test_cancel_during_run_of_same_instant(self, kernel):
+        """An event cancelled by an earlier event at the same timestamp
+        must not fire."""
+        out = []
+        victim = kernel.schedule(1.0, out.append, "victim")
+        kernel.schedule(1.0, victim.cancel)
+        kernel.run()
+        # FIFO puts the victim first; its cancel arrives too late.
+        assert out == ["victim"]
+        out.clear()
+        kernel2 = SimKernel()
+        canceller_first = []
+        victim2 = [None]
+
+        def cancel_it():
+            victim2[0].cancel()
+            canceller_first.append("cancelled")
+
+        kernel2.schedule(1.0, cancel_it)
+        victim2[0] = kernel2.schedule(1.0, out.append, "victim")
+        kernel2.run()
+        assert out == []
+        assert kernel2.tombstones_skipped == 1
+
+
 class TestPeriodicTask:
     def test_fires_every_period(self, kernel):
         out = []
@@ -169,6 +233,25 @@ class TestPeriodicTask:
         task_box.append(kernel.every(1.0, tick))
         kernel.run(until=10.0)
         assert task_box[0].fired == 1
+
+    def test_self_cancel_schedules_no_successor(self, kernel):
+        """A task that cancels itself mid-tick must not leave a pending
+        reschedule behind (the queue drains completely)."""
+        task_box = []
+        task_box.append(kernel.every(1.0, lambda: task_box[0].cancel()))
+        kernel.run(until=10.0)
+        assert kernel.pending == 0
+        assert task_box[0].cancelled
+
+    def test_cancel_then_fire_same_instant(self, kernel):
+        """Cancelling at exactly the task's next fire time: FIFO order puts
+        the tick first, so it still fires once before stopping."""
+        out = []
+        task = kernel.every(1.0, lambda: out.append(kernel.now))
+        kernel.schedule(1.0, task.cancel)
+        kernel.run(until=5.0)
+        assert out == [1.0]
+        assert task.fired == 1
 
     def test_zero_period_rejected(self, kernel):
         with pytest.raises(SimulationError):

@@ -2,19 +2,17 @@
 
 import pytest
 
-from repro.cluster import Lan, Node, make_nodes
+from repro.cluster import Node, make_nodes
 from repro.legacy import (
     ApacheServer,
     BackendState,
     CJdbcController,
-    Directory,
     EndpointNotFound,
     L4Switch,
     MySqlServer,
     PlbBalancer,
     RequestFailed,
     ServerNotRunning,
-    TomcatServer,
     WebRequest,
     parse_jdbc_url,
 )
@@ -25,7 +23,6 @@ from repro.legacy.configfiles import (
     HttpdConf,
     MyCnf,
     PlbConf,
-    ServerXml,
     Worker,
     WorkerProperties,
 )

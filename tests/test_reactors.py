@@ -85,6 +85,33 @@ class TestThresholdReactor:
         reactor, tier, _ = make_reactor(kernel, FakeTier(replicas=1))
         reactor.on_reading(reading(kernel, 0.05))
         assert tier.calls == []
+        # Symmetric with the at-cap path: a shrink stopped at the floor is
+        # a suppressed decision too.
+        assert reactor.decisions_suppressed == 1
+
+    def test_floor_suppression_does_not_take_the_lock(self, kernel):
+        reactor, tier, lock = make_reactor(kernel, FakeTier(replicas=1))
+        reactor.on_reading(reading(kernel, 0.05))
+        assert not lock.held
+        assert reactor.shrinks_triggered == 0
+
+    def test_nan_reading_is_an_explicit_no_data_decision(self, kernel):
+        reactor, tier, lock = make_reactor(kernel)
+        reactor.on_reading(reading(kernel, float("nan")))
+        assert tier.calls == []
+        assert reactor.no_data_decisions == 1
+        # no-data is its own counter, not lumped into suppressions
+        assert reactor.decisions_suppressed == 0
+        assert not lock.held
+
+    def test_nan_does_not_consume_warmup_decisions(self, kernel):
+        """After NaN readings, a real reading still decides normally."""
+        reactor, tier, _ = make_reactor(kernel)
+        for _ in range(3):
+            reactor.on_reading(reading(kernel, float("nan")))
+        reactor.on_reading(reading(kernel, 0.9))
+        assert tier.calls == ["grow"]
+        assert reactor.no_data_decisions == 3
 
     def test_never_grows_above_max_replicas(self, kernel):
         reactor, tier, _ = make_reactor(

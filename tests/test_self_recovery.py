@@ -1,7 +1,5 @@
 """Tests for the self-recovery manager (failure detection + repair)."""
 
-import pytest
-
 from repro.jade.system import ExperimentConfig, ManagedSystem
 from repro.workload.profiles import ConstantProfile
 

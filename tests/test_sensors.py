@@ -1,7 +1,5 @@
 """Tests for the Jade sensors."""
 
-import math
-
 import pytest
 
 from repro.cluster import Node, make_nodes
@@ -17,15 +15,32 @@ class TestUtilizationSampler:
     def test_independent_observers(self, kernel):
         node = Node(kernel, "n1")
         a, b = UtilizationSampler(), UtilizationSampler()
+        a.sample(node)  # seed both anchors at t=0
+        b.sample(node)
         node.run_job(1.0)
         kernel.run(until=2.0)
         # Both observers see the same history despite sampling separately.
         assert a.sample(node) == pytest.approx(0.5)
         assert b.sample(node) == pytest.approx(0.5)
 
+    def test_first_observation_seeds_anchor(self, kernel):
+        """A node first observed mid-run reads 0.0 — its history before the
+        observation (here a full second of busy CPU) must not be averaged
+        into the sample."""
+        node = Node(kernel, "n1")
+        sampler = UtilizationSampler()
+        node.run_job(1.0)
+        kernel.run(until=2.0)
+        assert sampler.sample(node) == 0.0
+        # Subsequent samples measure only the delta since the anchor.
+        node.run_job(1.0)
+        kernel.run(until=3.0)
+        assert sampler.sample(node) == pytest.approx(1.0)
+
     def test_delta_semantics(self, kernel):
         node = Node(kernel, "n1")
         sampler = UtilizationSampler()
+        sampler.sample(node)  # seed at t=0
         node.run_job(1.0)
         kernel.run(until=1.0)
         assert sampler.sample(node) == pytest.approx(1.0)
@@ -35,13 +50,17 @@ class TestUtilizationSampler:
     def test_forget(self, kernel):
         node = Node(kernel, "n1")
         sampler = UtilizationSampler()
-        node.run_job(1.0)
+        sampler.sample(node)
+        node.run_job(2.0)
         kernel.run(until=1.0)
         sampler.sample(node)
         sampler.forget(node)
         kernel.run(until=2.0)
-        # After forgetting, the next sample measures from t=0 again.
-        assert sampler.sample(node) == pytest.approx(0.5)
+        # After forgetting, the node is unknown again: the next sample
+        # only re-seeds the anchor.
+        assert sampler.sample(node) == 0.0
+        kernel.run(until=3.0)
+        assert sampler.sample(node) == pytest.approx(0.0)  # job done at t=2
 
 
 class TestCpuProbe:
@@ -51,12 +70,14 @@ class TestCpuProbe:
         readings = []
         probe.subscribe(readings.append)
         probe.on_start()
-        # Load node1 fully for 5 s; node2 idle -> spatial average 0.5.
+        # Load node1 fully for 5 s; node2 idle -> spatial average 0.5
+        # (the first sample of each node only seeds its anchor: 0.0).
         nodes[0].run_job(5.0)
         kernel.run(until=5.0)
         assert len(readings) == 5
+        assert readings[0].raw == 0.0
         assert readings[-1].raw == pytest.approx(0.5, abs=0.01)
-        assert readings[-1].smoothed == pytest.approx(0.5, abs=0.01)
+        assert readings[-1].smoothed == pytest.approx(0.4, abs=0.01)
         assert readings[-1].node_count == 2
 
     def test_moving_average_lags_raw(self, kernel):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.jade.system import ExperimentConfig, ManagedSystem
-from repro.workload.profiles import ConstantProfile, PiecewiseProfile
+from repro.workload.profiles import ConstantProfile
 
 
 class TestConfigKnobs:
