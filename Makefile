@@ -1,6 +1,6 @@
 # Convenience targets for the Jade reproduction.
 
-.PHONY: install test lint bench bench-quick figures examples trace-demo clean
+.PHONY: install test lint bench bench-quick bench-smoke figures examples trace-demo whatif-demo clean
 
 install:
 	pip install -e .
@@ -16,11 +16,23 @@ trace-demo:
 	python -m repro ramp --scale 0.15 --peak 350 --trace /tmp/repro-trace.jsonl
 	python -m repro trace /tmp/repro-trace.jsonl
 
+# Fork the managed ramp mid-climb and compare candidate configurations.
+whatif-demo:
+	python -m repro whatif --at 150 --scale 0.25 --peak 350 \
+		--horizon 60 --warmup 45 --slo 0.25 --report /tmp/repro-whatif.json
+	@echo "canonical candidate report: /tmp/repro-whatif.json"
+
 bench:
 	pytest benchmarks/ --benchmark-only -s
 
 bench-quick:
 	REPRO_BENCH_SCALE=0.35 pytest benchmarks/ --benchmark-only -s
+
+# A single reduced-horizon figure benchmark; fast enough for CI.  0.15 is
+# the smallest compression that keeps the Fig. 5 staircase shape intact.
+bench-smoke:
+	REPRO_BENCH_SCALE=0.15 pytest benchmarks/bench_fig5_replicas.py \
+		--benchmark-only -x -q -s
 
 # Regenerate every paper figure/table series into benchmarks/results/
 figures: bench

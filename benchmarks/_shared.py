@@ -15,6 +15,8 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from typing import Optional
+
 from repro.jade.system import ExperimentConfig, ManagedSystem
 from repro.workload.profiles import ConstantProfile, RampProfile
 
@@ -64,45 +66,83 @@ def ramp_profile() -> RampProfile:
     )
 
 
-def managed_ramp() -> ManagedSystem:
+def managed_ramp(seed: Optional[int] = None) -> ManagedSystem:
     """The Jade-managed ramp run (Figures 5, 6, 7, 9)."""
-    if "managed" not in _cache:
+    seed = _seed() if seed is None else seed
+    key = f"managed-{seed}"
+    if key not in _cache:
         system = ManagedSystem(
             ExperimentConfig(
                 profile=ramp_profile(),
-                seed=_seed(),
+                seed=seed,
                 managed=True,
                 trace_jsonl=_trace_sink("ramp_managed"),
             )
         )
         system.run()
-        _cache["managed"] = system
-    return _cache["managed"]
+        _cache[key] = system
+    return _cache[key]
 
 
-def static_ramp() -> ManagedSystem:
+def static_ramp(seed: Optional[int] = None) -> ManagedSystem:
     """The unmanaged ramp run (Figures 6, 7, 8 baselines)."""
-    if "static" not in _cache:
+    seed = _seed() if seed is None else seed
+    key = f"static-{seed}"
+    if key not in _cache:
         system = ManagedSystem(
             ExperimentConfig(
                 profile=ramp_profile(),
-                seed=_seed(),
+                seed=seed,
                 managed=False,
                 trace_jsonl=_trace_sink("ramp_static"),
             )
         )
         system.run()
-        _cache["static"] = system
-    return _cache["static"]
+        _cache[key] = system
+    return _cache[key]
 
 
-def constant80(managed: bool) -> ManagedSystem:
-    """300 s at 80 clients (Table 1's medium workload)."""
-    key = f"const80-{managed}"
+def proactive_ramp(seed: Optional[int] = None) -> ManagedSystem:
+    """The ramp with the forecast-driven capacity manager alongside the
+    reactive loops (the ``bench_ext_proactive`` treatment arm).
+
+    Tuned for the extension benchmark: a 0.25 s SLO in the cost model (the
+    ramp's reactive-growth transients sit in the 0.2–0.35 s band) and a
+    lower grow margin so the planner arms one inhibition window ahead."""
+    from repro.capacity import CostModel, ProactiveConfig
+
+    seed = _seed() if seed is None else seed
+    key = f"proactive-{seed}"
     if key not in _cache:
         system = ManagedSystem(
             ExperimentConfig(
-                profile=ConstantProfile(80, 300.0), seed=_seed(), managed=managed
+                profile=ramp_profile(),
+                seed=seed,
+                managed=True,
+                proactive=True,
+                proactive_config=ProactiveConfig(
+                    min_eval_interval_s=90.0,
+                    grow_margin=0.85,
+                    cost_model=CostModel(
+                        slo_latency_s=0.25, slo_violation_cost_per_s=0.2
+                    ),
+                ),
+                trace_jsonl=_trace_sink("ramp_proactive"),
+            )
+        )
+        system.run()
+        _cache[key] = system
+    return _cache[key]
+
+
+def constant80(managed: bool, seed: Optional[int] = None) -> ManagedSystem:
+    """300 s at 80 clients (Table 1's medium workload)."""
+    seed = _seed() if seed is None else seed
+    key = f"const80-{managed}-{seed}"
+    if key not in _cache:
+        system = ManagedSystem(
+            ExperimentConfig(
+                profile=ConstantProfile(80, 300.0), seed=seed, managed=managed
             )
         )
         system.run()

@@ -1,17 +1,9 @@
-from setuptools import setup, find_packages
+"""Legacy shim — all packaging metadata lives in pyproject.toml (PEP 621).
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Jade reproduction: autonomic management of clustered applications"
-        " (CLUSTER 2006)"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-    install_requires=["numpy>=1.24"],
-    extras_require={
-        "dev": ["pytest>=7", "pytest-benchmark", "hypothesis", "ruff"],
-    },
-)
+Kept so offline environments without `wheel` can still use the
+`setup.py develop` install path.
+"""
+
+from setuptools import setup
+
+setup()

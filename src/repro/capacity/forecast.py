@@ -1,0 +1,228 @@
+"""Load forecasters.
+
+Each forecaster consumes an irregular stream of ``(t, value)`` observations
+(client population, tier CPU, request rate — anything the sensors already
+measure) and extrapolates it over a horizon.  The design mirrors the
+sensors' spatial/temporal averaging style: bounded history, O(1) or O(n)
+arithmetic, no hidden state, and byte-for-byte determinism — the what-if
+engine relies on two identical observation streams producing identical
+forecasts.
+
+Three predictors cover the paper's workload shapes:
+
+* :class:`EwmaForecaster` — exponentially weighted level; flat forecast.
+  Right for noisy steady plateaus (Table 1's constant load).
+* :class:`LinearTrendForecaster` — least-squares slope over a recent
+  window.  Right for the §5.2 staircase ramp: during the climb it predicts
+  the threshold crossing one-to-two inhibition windows early.
+* :class:`SeasonalForecaster` — per-phase averages over a fixed period
+  with a level offset, for periodic (diurnal-style) workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Optional
+
+ForecastSeries = list[tuple[float, float]]
+
+
+class Forecaster:
+    """Base class: bounded observation history + horizon extrapolation."""
+
+    name = "base"
+
+    def __init__(self, history_s: float = 600.0) -> None:
+        if history_s <= 0:
+            raise ValueError("history span must be positive")
+        self.history_s = history_s
+        self._samples: deque[tuple[float, float]] = deque()
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, t: float, value: float) -> None:
+        """Record one observation (monotone non-decreasing ``t``)."""
+        if self._samples and t < self._samples[-1][0]:
+            raise ValueError(
+                f"non-monotonic observation ({t} after {self._samples[-1][0]})"
+            )
+        self._samples.append((t, float(value)))
+        self.observations += 1
+        self._on_observe(t, float(value))
+        cutoff = t - self.history_s
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+    def _on_observe(self, t: float, value: float) -> None:
+        """Hook for incremental state (EWMA level etc.)."""
+
+    @property
+    def last(self) -> Optional[tuple[float, float]]:
+        return self._samples[-1] if self._samples else None
+
+    # ------------------------------------------------------------------
+    def predict(self, horizon_s: float, step_s: float = 15.0) -> ForecastSeries:
+        """Forecast ``(t, value)`` points over ``(now, now + horizon]``.
+
+        Empty when nothing has been observed yet.  Values are clamped to
+        be non-negative (a client population cannot go below zero).
+        """
+        if horizon_s <= 0 or step_s <= 0:
+            raise ValueError("horizon and step must be positive")
+        if not self._samples:
+            return []
+        t0 = self._samples[-1][0]
+        steps = max(1, math.ceil(horizon_s / step_s - 1e-9))
+        return [
+            (t0 + k * step_s, max(0.0, self._value_at(t0 + k * step_s)))
+            for k in range(1, steps + 1)
+        ]
+
+    def predicted_peak(self, horizon_s: float, step_s: float = 15.0) -> float:
+        """Highest forecast value over the horizon (NaN when unobserved)."""
+        series = self.predict(horizon_s, step_s)
+        if not series:
+            return float("nan")
+        return max(v for _, v in series)
+
+    def _value_at(self, t: float) -> float:
+        raise NotImplementedError
+
+
+class EwmaForecaster(Forecaster):
+    """Exponentially weighted moving average; forecasts the current level.
+
+    The decay is continuous-time (``tau_s`` is the time constant), so
+    irregular observation spacing is handled correctly.
+    """
+
+    name = "ewma"
+
+    def __init__(self, tau_s: float = 60.0, history_s: float = 600.0) -> None:
+        super().__init__(history_s)
+        if tau_s <= 0:
+            raise ValueError("time constant must be positive")
+        self.tau_s = tau_s
+        self._level: Optional[float] = None
+        self._last_t: Optional[float] = None
+
+    def _on_observe(self, t: float, value: float) -> None:
+        if self._level is None or self._last_t is None:
+            self._level = value
+        else:
+            weight = 1.0 - math.exp(-(t - self._last_t) / self.tau_s)
+            self._level += weight * (value - self._level)
+        self._last_t = t
+
+    @property
+    def level(self) -> float:
+        return self._level if self._level is not None else float("nan")
+
+    def _value_at(self, t: float) -> float:
+        assert self._level is not None
+        return self._level
+
+
+class LinearTrendForecaster(Forecaster):
+    """Least-squares linear extrapolation over a recent fit window."""
+
+    name = "trend"
+
+    def __init__(self, window_s: float = 180.0, history_s: float = 600.0) -> None:
+        super().__init__(max(history_s, window_s))
+        if window_s <= 0:
+            raise ValueError("fit window must be positive")
+        self.window_s = window_s
+
+    def _fit(self) -> tuple[float, float]:
+        """(intercept at the last observation time, slope per second)."""
+        t_last = self._samples[-1][0]
+        pts = [(t - t_last, v) for t, v in self._samples if t >= t_last - self.window_s]
+        if len(pts) < 2:
+            return self._samples[-1][1], 0.0
+        n = float(len(pts))
+        sx = sum(x for x, _ in pts)
+        sy = sum(y for _, y in pts)
+        sxx = sum(x * x for x, _ in pts)
+        sxy = sum(x * y for x, y in pts)
+        denom = n * sxx - sx * sx
+        if denom == 0.0:  # all samples at one instant
+            return pts[-1][1], 0.0
+        slope = (n * sxy - sx * sy) / denom
+        intercept = (sy - slope * sx) / n
+        return intercept, slope
+
+    def _value_at(self, t: float) -> float:
+        t_last = self._samples[-1][0]
+        intercept, slope = self._fit()
+        return intercept + slope * (t - t_last)
+
+
+class SeasonalForecaster(Forecaster):
+    """Periodic predictor: per-phase bucket averages plus a level offset.
+
+    The period is divided into ``buckets`` phase bins; each observation
+    updates its bin's running mean.  A forecast for time ``t`` is the bin
+    mean at ``t``'s phase, shifted by the difference between the most
+    recent observation and its own bin mean — so a workload running hotter
+    than its historical shape forecasts proportionally hotter.
+    """
+
+    name = "seasonal"
+
+    def __init__(
+        self,
+        period_s: float = 3600.0,
+        buckets: int = 24,
+        history_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(history_s if history_s is not None else 4 * period_s)
+        if period_s <= 0 or buckets < 1:
+            raise ValueError("need a positive period and at least one bucket")
+        self.period_s = period_s
+        self.buckets = buckets
+        self._sums = [0.0] * buckets
+        self._counts = [0] * buckets
+
+    def _bucket(self, t: float) -> int:
+        phase = (t % self.period_s) / self.period_s
+        return min(self.buckets - 1, int(phase * self.buckets))
+
+    def _bucket_mean(self, b: int) -> Optional[float]:
+        if self._counts[b] == 0:
+            return None
+        return self._sums[b] / self._counts[b]
+
+    def _on_observe(self, t: float, value: float) -> None:
+        b = self._bucket(t)
+        self._sums[b] += value
+        self._counts[b] += 1
+
+    def _value_at(self, t: float) -> float:
+        t_last, v_last = self._samples[-1]
+        mean = self._bucket_mean(self._bucket(t))
+        if mean is None:
+            return v_last  # unseen phase: hold the level
+        last_mean = self._bucket_mean(self._bucket(t_last))
+        offset = v_last - last_mean if last_mean is not None else 0.0
+        return mean + offset
+
+
+#: forecaster registry for CLI/config selection
+FORECASTERS = {
+    cls.name: cls
+    for cls in (EwmaForecaster, LinearTrendForecaster, SeasonalForecaster)
+}
+
+
+def make_forecaster(name: str, **kwargs) -> Forecaster:
+    """Instantiate a forecaster by registry name (``ewma``/``trend``/
+    ``seasonal``)."""
+    try:
+        cls = FORECASTERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown forecaster {name!r} (have: {sorted(FORECASTERS)})"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,316 @@
+"""The what-if engine: deterministic sim-fork evaluation of candidates.
+
+Given a :class:`~repro.capacity.snapshot.SystemSnapshot` and a load
+forecast, the engine *forks* the simulation: for each candidate replica
+configuration it builds a fresh branch system (same seed, same hardware
+and calibration, same pool size), forces the candidate's replica counts,
+replays the forecast horizon, and measures what the paper's figures
+measure — latency, per-tier utilization, SLO-violation time — plus the
+node-seconds the candidate holds.
+
+Two properties are load-bearing and tested:
+
+* **Determinism** — a branch is reconstructed purely from the snapshot and
+  forecast; evaluating the same fork twice yields *byte-identical*
+  reports (:meth:`WhatIfEngine.report`).
+* **Parent isolation** — the engine only reads the snapshot; the parent
+  run's kernel, collector and RNG streams are never touched, so a run
+  with what-if evaluations in the middle finishes with metrics identical
+  to one without.
+
+The fork is a *state projection*, not an object-graph copy: live client
+sessions are mid-generator (unpicklable and uncopyable), so the branch
+restarts a fresh closed-loop population at the snapshot's observed size
+and lets it warm up for ``warmup_s`` before the measurement window opens.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.capacity.cost import CostBreakdown, CostModel, slo_violation_time
+from repro.capacity.forecast import ForecastSeries
+from repro.capacity.snapshot import SystemSnapshot
+from repro.workload.profiles import PiecewiseProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.jade.system import ManagedSystem
+
+#: nodes outside the resizable tiers (the PLB and C-JDBC balancers)
+BALANCER_NODES = 2
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One replica configuration to evaluate."""
+
+    app_replicas: int
+    db_replicas: int
+
+    def __post_init__(self) -> None:
+        if self.app_replicas < 1 or self.db_replicas < 1:
+            raise ValueError("candidate replica counts must be >= 1")
+
+    @property
+    def label(self) -> str:
+        return f"app{self.app_replicas}/db{self.db_replicas}"
+
+
+def default_candidates(
+    snapshot: SystemSnapshot, max_delta: int = 1
+) -> list[Candidate]:
+    """The neighbourhood of the current configuration: stay, grow either
+    or both tiers, shrink either tier (one step each, deterministic
+    order)."""
+    base_app, base_db = snapshot.app_replicas, snapshot.db_replicas
+    deltas = [(0, 0)]
+    for d in range(1, max_delta + 1):
+        deltas += [(d, 0), (0, d), (d, d), (-d, 0), (0, -d)]
+    seen: set[tuple[int, int]] = set()
+    out = []
+    for da, db in deltas:
+        app = max(1, base_app + da)
+        dbr = max(1, base_db + db)
+        if (app, dbr) in seen:
+            continue
+        seen.add((app, dbr))
+        out.append(Candidate(app, dbr))
+    return out
+
+
+@dataclass
+class BranchOutcome:
+    """What one candidate did over the forecast horizon."""
+
+    candidate: Candidate
+    feasible: bool = True
+    error: str = ""
+    latency_mean_s: float = float("nan")
+    latency_p95_s: float = float("nan")
+    slo_violation_s: float = float("nan")
+    throughput_rps: float = float("nan")
+    app_cpu_mean: float = float("nan")
+    db_cpu_mean: float = float("nan")
+    node_seconds: float = float("nan")
+    completed: int = 0
+    failed: int = 0
+    cost: Optional[CostBreakdown] = field(default=None)
+
+    def to_record(self) -> dict:
+        """Round-stable flat dict; byte-identical across identical forks."""
+        record = {
+            "candidate": self.candidate.label,
+            "app_replicas": self.candidate.app_replicas,
+            "db_replicas": self.candidate.db_replicas,
+            "feasible": self.feasible,
+            "error": self.error,
+            "latency_mean_s": round(self.latency_mean_s, 6),
+            "latency_p95_s": round(self.latency_p95_s, 6),
+            "slo_violation_s": round(self.slo_violation_s, 6),
+            "throughput_rps": round(self.throughput_rps, 6),
+            "app_cpu_mean": round(self.app_cpu_mean, 6),
+            "db_cpu_mean": round(self.db_cpu_mean, 6),
+            "node_seconds": round(self.node_seconds, 6),
+            "completed": self.completed,
+            "failed": self.failed,
+        }
+        if self.cost is not None:
+            record["cost"] = self.cost.to_record()
+        return record
+
+
+class WhatIfEngine:
+    """Builds and runs branch simulations for candidate configurations."""
+
+    def __init__(
+        self,
+        horizon_s: float = 120.0,
+        warmup_s: float = 60.0,
+        step_s: float = 15.0,
+        cost_model: Optional[CostModel] = None,
+        latency_bucket_s: float = 5.0,
+    ) -> None:
+        if horizon_s <= 0 or warmup_s <= 0:
+            raise ValueError("horizon and warmup must be positive")
+        self.horizon_s = horizon_s
+        self.warmup_s = warmup_s
+        self.step_s = step_s
+        self.cost_model = cost_model
+        self.latency_bucket_s = latency_bucket_s
+        self.branches_run = 0
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        snapshot: SystemSnapshot,
+        forecast: ForecastSeries,
+        candidates: Optional[Sequence[Candidate]] = None,
+    ) -> list[BranchOutcome]:
+        """Run one branch per candidate; returns outcomes in candidate
+        order, scored by the cost model when one is configured."""
+        if candidates is None:
+            candidates = default_candidates(snapshot)
+        self.evaluations += 1
+        outcomes = [
+            self._run_branch(snapshot, forecast, candidate)
+            for candidate in candidates
+        ]
+        if self.cost_model is not None:
+            for outcome in outcomes:
+                outcome.cost = self.cost_model.score(
+                    outcome, snapshot.app_replicas, snapshot.db_replicas
+                )
+        return outcomes
+
+    def best(self, outcomes: Sequence[BranchOutcome]) -> BranchOutcome:
+        """Lowest total cost; ties break towards fewer replicas, then the
+        stable candidate order (deterministic)."""
+        feasible = [o for o in outcomes if o.feasible]
+        if not feasible:
+            raise ValueError("no feasible candidate")
+        if self.cost_model is None:
+            raise ValueError("ranking candidates requires a cost model")
+        return min(
+            feasible,
+            key=lambda o: (
+                o.cost.total,
+                o.candidate.app_replicas + o.candidate.db_replicas,
+                o.candidate.label,
+            ),
+        )
+
+    def report(self, outcomes: Sequence[BranchOutcome]) -> str:
+        """Canonical JSON for the outcome list — the byte-identical
+        artifact the determinism guarantee is stated over."""
+        return json.dumps(
+            [o.to_record() for o in outcomes], sort_keys=True, indent=2
+        )
+
+    # ------------------------------------------------------------------
+    def _branch_profile(self, snapshot: SystemSnapshot, forecast: ForecastSeries):
+        """Branch time runs from 0: hold the snapshot load through the
+        warmup, then replay the forecast over the horizon."""
+        points: list[tuple[float, int]] = [(0.0, int(snapshot.clients))]
+        for t, value in forecast:
+            offset = self.warmup_s + max(0.0, t - snapshot.t)
+            if offset >= self.warmup_s + self.horizon_s:
+                break
+            points.append((offset, max(0, round(value))))
+        return PiecewiseProfile(
+            points, duration_s=self.warmup_s + self.horizon_s
+        )
+
+    def _run_branch(
+        self,
+        snapshot: SystemSnapshot,
+        forecast: ForecastSeries,
+        candidate: Candidate,
+    ) -> BranchOutcome:
+        from repro.jade.system import ExperimentConfig, ManagedSystem
+
+        config = ExperimentConfig(
+            seed=snapshot.seed,
+            managed=False,
+            profile=self._branch_profile(snapshot, forecast),
+            pool_nodes=snapshot.pool_nodes,
+            node_speed=snapshot.node_speed,
+            thrashing=snapshot.thrashing,
+            calibration=snapshot.calibration,
+            sample_nodes=False,
+            tail_s=0.0,
+        )
+        branch = ManagedSystem(config)
+        self.branches_run += 1
+        outcome = BranchOutcome(candidate)
+        if not self._force_replicas(branch, candidate):
+            outcome.feasible = False
+            outcome.error = "no-free-node"
+            return outcome
+        end = self.warmup_s + self.horizon_s
+        branch.run(duration_s=end)
+        self._measure(branch, outcome, self.warmup_s, end)
+        return outcome
+
+    def _force_replicas(self, branch: "ManagedSystem", candidate: Candidate) -> bool:
+        """Grow the branch's tiers to the candidate's counts before the
+        measurement window; False when the pool cannot host the candidate."""
+        for tier, target in (
+            (branch.app_tier, candidate.app_replicas),
+            (branch.db_tier, candidate.db_replicas),
+        ):
+            while tier.replica_count < target:
+                if not tier.grow():
+                    return False
+                self._settle(branch, tier)
+                if tier.grow_failures:
+                    return False
+        return True
+
+    @staticmethod
+    def _settle(branch: "ManagedSystem", tier, step_s: float = 1.0) -> None:
+        """Advance the branch kernel until the tier's in-flight
+        reconfiguration finishes (install + start + sync take simulated
+        time that must elapse inside the warmup)."""
+        while tier.busy:
+            branch.kernel.run(until=branch.kernel.now + step_s)
+
+    def _measure(
+        self, branch: "ManagedSystem", outcome: BranchOutcome, t0: float, t1: float
+    ) -> None:
+        col = branch.collector
+        window = col.latencies.window(t0, t1)
+        values = window.values
+        if len(values):
+            import numpy as np
+
+            outcome.latency_mean_s = float(values.mean())
+            outcome.latency_p95_s = float(np.percentile(values, 95))
+        outcome.slo_violation_s = slo_violation_time(
+            col.latencies,
+            t0,
+            t1,
+            self.cost_model.slo_latency_s if self.cost_model else 0.5,
+            bucket_s=self.latency_bucket_s,
+        )
+        outcome.throughput_rps = len(values) / (t1 - t0)
+        outcome.completed = int(len(values))
+        outcome.failed = int(len(col.failures.window(t0, t1)))
+        app_cpu = col.tier_cpu.get("application")
+        db_cpu = col.tier_cpu.get("database")
+        if app_cpu is not None:
+            outcome.app_cpu_mean = app_cpu.window(t0, t1).mean()
+        if db_cpu is not None:
+            outcome.db_cpu_mean = db_cpu.window(t0, t1).mean()
+        node_seconds = BALANCER_NODES * (t1 - t0)
+        for series in col.tier_replicas.values():
+            node_seconds += series.integral(t0, t1)
+        outcome.node_seconds = node_seconds
+
+
+def run_to_fork(system: "ManagedSystem", t: float) -> SystemSnapshot:
+    """Start a freshly-built system's moving parts, advance simulated time
+    to ``t``, and capture the fork snapshot.
+
+    Convenience for the CLI/examples: the parent is left mid-run (managers
+    and emulator active) so callers can inspect it, but :meth:`ManagedSystem.run`
+    must not be called on it afterwards — it would restart the managers.
+    """
+    if system.kernel.now > 0.0:
+        raise ValueError("run_to_fork needs a freshly built system")
+    cfg = system.config
+    if system.optimizer is not None:
+        system.optimizer.start()
+    if system.recovery is not None:
+        system.recovery.start()
+    if system.proactive is not None:
+        system.proactive.on_start()
+    if cfg.sample_nodes:
+        system._sampling_task = system.kernel.every(1.0, system._sample_nodes)
+    for probe in system._passive_probes:
+        probe.on_start()
+    system.emulator.start()
+    system.kernel.run(until=t)
+    return SystemSnapshot.capture(system)

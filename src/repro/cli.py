@@ -4,8 +4,10 @@ Run the paper's experiments without writing code::
 
     python -m repro ramp --managed            # Figures 5/6/7/9 run
     python -m repro ramp --static             # Figure 8 baseline
+    python -m repro ramp --proactive          # forecast-driven capacity manager
     python -m repro steady --clients 80       # Table 1 operating point
     python -m repro recovery                  # crash + repair scenario
+    python -m repro whatif --at 400           # fork mid-ramp, compare candidates
     python -m repro ramp --managed --csv out.csv   # export the series
 
 Every command prints a summary and (optionally) writes the collected time
@@ -59,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="no Jade: fixed 1 Tomcat + 1 MySQL (Figure 8)",
     )
     ramp.add_argument("--peak", type=int, default=500, help="peak client count")
+    ramp.add_argument(
+        "--proactive",
+        action="store_true",
+        help="run the forecast-driven capacity manager alongside the "
+        "reactive loops",
+    )
     _add_common(ramp)
 
     steady = sub.add_parser("steady", help="constant load (Table 1 protocol)")
@@ -67,12 +75,61 @@ def build_parser() -> argparse.ArgumentParser:
     steady.add_argument(
         "--no-jade", action="store_true", help="run without the managers"
     )
+    steady.add_argument(
+        "--proactive",
+        action="store_true",
+        help="run the forecast-driven capacity manager alongside the "
+        "reactive loops",
+    )
     _add_common(steady)
 
     recovery = sub.add_parser("recovery", help="DB replica crash + self-repair")
     recovery.add_argument("--clients", type=int, default=120)
     recovery.add_argument("--crash-at", type=float, default=300.0)
     _add_common(recovery)
+
+    whatif = sub.add_parser(
+        "whatif",
+        help="fork the ramp mid-run and compare candidate replica "
+        "configurations over a forecast horizon",
+    )
+    whatif.add_argument(
+        "--at", type=float, default=400.0, metavar="T",
+        help="simulated time of the fork point (default 400s)",
+    )
+    whatif.add_argument("--peak", type=int, default=500, help="peak client count")
+    whatif.add_argument(
+        "--horizon", type=float, default=120.0, help="forecast horizon (s)"
+    )
+    whatif.add_argument(
+        "--warmup", type=float, default=60.0,
+        help="branch warmup before the measurement window (s)",
+    )
+    whatif.add_argument(
+        "--model",
+        choices=("ewma", "trend", "seasonal"),
+        default="trend",
+        help="load forecaster (default: trend)",
+    )
+    whatif.add_argument(
+        "--max-delta", type=int, default=1,
+        help="how far candidates may stray from the current configuration",
+    )
+    whatif.add_argument(
+        "--slo", type=float, default=0.5, metavar="SEC",
+        help="latency SLO priced by the cost model (default 0.5 s)",
+    )
+    whatif.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the canonical candidate-outcome JSON report",
+    )
+    whatif.add_argument("--seed", type=int, default=1, help="experiment seed")
+    whatif.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="time compression of the scenario (0.5 = half duration)",
+    )
 
     trace = sub.add_parser(
         "trace", help="render a JSONL decision trace as a causal timeline"
@@ -109,6 +166,15 @@ def _print_summary(system: ManagedSystem) -> None:
         print("\nReconfigurations")
         for t, desc in col.reconfigurations:
             print(f"  t={t:8.1f}s  {desc}")
+    proactive = getattr(system, "proactive", None)
+    if proactive is not None:
+        print(
+            f"\nProactive manager: {proactive.forecasts_issued} forecasts, "
+            f"{proactive.evaluations} what-if evaluations, "
+            f"{proactive.grows_triggered} grows / "
+            f"{proactive.shrinks_triggered} shrinks triggered "
+            f"({proactive.decisions_suppressed} suppressed)"
+        )
 
 
 def _write_csv(system: ManagedSystem, path: str) -> None:
@@ -123,6 +189,7 @@ def _write_csv(system: ManagedSystem, path: str) -> None:
             json_path,
             horizon_s=system.config.profile.duration_s,
             tracer=system.tracer,
+            seed=system.config.seed,
         )
         print(f"Summary report written to {json_path}")
 
@@ -167,7 +234,7 @@ def cmd_ramp(args: argparse.Namespace) -> int:
     )
     config = ExperimentConfig(
         profile=profile, seed=args.seed, managed=not args.static,
-        trace_jsonl=args.trace,
+        proactive=args.proactive, trace_jsonl=args.trace,
     )
     _run(config, args.csv)
     return 0
@@ -178,9 +245,74 @@ def cmd_steady(args: argparse.Namespace) -> int:
         profile=ConstantProfile(args.clients, args.duration * args.scale),
         seed=args.seed,
         managed=not args.no_jade,
+        proactive=args.proactive,
         trace_jsonl=args.trace,
     )
     _run(config, args.csv)
+    return 0
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.capacity import CostModel, WhatIfEngine, make_forecaster, run_to_fork
+    from repro.capacity.whatif import default_candidates
+
+    profile = RampProfile(
+        peak=args.peak,
+        warmup_s=300.0 * args.scale,
+        step_period_s=60.0 * args.scale,
+        cooldown_s=300.0 * args.scale,
+    )
+    config = ExperimentConfig(profile=profile, seed=args.seed, managed=True)
+    system = ManagedSystem(config)
+    print(
+        f"Running the managed ramp to the fork point t={args.at:.0f}s "
+        f"(seed {args.seed})..."
+    )
+    snapshot = run_to_fork(system, args.at)
+    print(
+        f"Fork: {snapshot.clients} clients, app x{snapshot.app_replicas}, "
+        f"db x{snapshot.db_replicas}, {snapshot.free_nodes} free nodes"
+    )
+
+    forecaster = make_forecaster(args.model)
+    for t, clients in system.collector.workload.changes:
+        forecaster.observe(t, clients)
+    forecast = forecaster.predict(args.horizon)
+    peak = max(v for _, v in forecast)
+    print(
+        f"Forecast [{args.model}]: load {snapshot.clients} -> "
+        f"peak {peak:.0f} over {args.horizon:.0f}s"
+    )
+
+    engine = WhatIfEngine(
+        horizon_s=args.horizon,
+        warmup_s=args.warmup,
+        cost_model=CostModel(slo_latency_s=args.slo),
+    )
+    candidates = default_candidates(snapshot, args.max_delta)
+    print(f"Evaluating {len(candidates)} candidates "
+          f"({args.warmup:.0f}s warmup + {args.horizon:.0f}s horizon each)...")
+    outcomes = engine.evaluate(snapshot, forecast, candidates)
+    best = engine.best(outcomes)
+
+    print(f"\n{'candidate':<12s} {'p95 (ms)':>9s} {'SLO viol':>9s} "
+          f"{'node-h':>7s} {'cost':>8s}")
+    for outcome in outcomes:
+        if not outcome.feasible:
+            print(f"{outcome.candidate.label:<12s} infeasible: {outcome.error}")
+            continue
+        marker = "  <- best" if outcome is best else ""
+        print(
+            f"{outcome.candidate.label:<12s} "
+            f"{outcome.latency_p95_s * 1000:9.1f} "
+            f"{outcome.slo_violation_s:8.0f}s "
+            f"{outcome.cost.node_hours:7.3f} "
+            f"{outcome.cost.total:8.3f}{marker}"
+        )
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(engine.report(outcomes))
+        print(f"\nCandidate report written to {args.report}")
     return 0
 
 
@@ -233,6 +365,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "ramp": cmd_ramp,
         "steady": cmd_steady,
         "recovery": cmd_recovery,
+        "whatif": cmd_whatif,
         "trace": cmd_trace,
     }
     try:

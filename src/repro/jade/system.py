@@ -18,7 +18,7 @@ reproducible from its seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cluster.allocator import ClusterManager
 from repro.cluster.installer import Package, SoftwareInstallationService
@@ -50,6 +50,9 @@ from repro.wrappers.tomcat import make_tomcat_component
 from repro.workload.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.workload.clients import ClientEmulator
 from repro.workload.profiles import RampProfile, WorkloadProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.capacity.proactive import ProactiveConfig
 
 #: ADL description of the initial RUBiS deployment (§5.2: "Initially, the
 #: J2EE system is deployed with one application server (Tomcat) and one
@@ -96,6 +99,11 @@ class ExperimentConfig:
     use_slo_manager: bool = False
     slo_max_latency_s: float = 0.5
     slo_min_latency_s: float = 0.06
+    #: run the proactive capacity manager alongside the reactive loops
+    #: (extension; see ``repro.capacity``)
+    proactive: bool = False
+    #: knobs of the proactive planning loop (None = defaults)
+    proactive_config: Optional["ProactiveConfig"] = None
     #: sample node CPU/memory every second (Table 1)
     sample_nodes: bool = True
     #: extra simulated time after the profile ends (lets requests drain)
@@ -311,6 +319,51 @@ class ManagedSystem:
             request_timeout_s=cfg.client_timeout_s,
         )
 
+        # --- proactive capacity manager (extension) ----------------------
+        # Built after the emulator so its load provider can read the live
+        # client population; it shares the reactive loops' inhibition lock
+        # (a proactive reconfiguration inhibits reactive churn and vice
+        # versa) and, through the tier actuators, the arbitration manager.
+        self.proactive = None
+        if cfg.proactive:
+            from repro.capacity.proactive import ProactiveManager
+            from repro.capacity.snapshot import SystemSnapshot
+
+            lock = getattr(self.optimizer, "inhibition", None)
+            if lock is None:
+                from repro.jade.control_loop import InhibitionLock
+
+                lock = InhibitionLock(self.kernel, cfg.inhibition_s)
+            self.proactive = ProactiveManager(
+                self.kernel,
+                self.app_tier,
+                self.db_tier,
+                lock,
+                load_provider=lambda: self.emulator.active_clients,
+                snapshot_source=lambda: SystemSnapshot.capture(
+                    self, inhibition=lock
+                ),
+                app_thresholds=(
+                    cfg.app_loop.max_threshold,
+                    cfg.app_loop.min_threshold,
+                ),
+                db_thresholds=(
+                    cfg.db_loop.max_threshold,
+                    cfg.db_loop.min_threshold,
+                ),
+                config=cfg.proactive_config,
+            )
+            # Feed the planner's projection from the same probes the
+            # reactive loops read (or the passive ones when unmanaged).
+            if isinstance(self.optimizer, SelfOptimizationManager):
+                for label in ("app", "db"):
+                    self.optimizer.loops[label].probe.subscribe(
+                        self.proactive.cpu_listener(label)
+                    )
+            else:
+                for label, probe in zip(("app", "db"), self._passive_probes):
+                    probe.subscribe(self.proactive.cpu_listener(label))
+
         # --- metrics sampling ---------------------------------------------
         self._node_sampler = UtilizationSampler()
         self._sampling_task = None
@@ -342,6 +395,9 @@ class ManagedSystem:
             probe.tracer = tracer
         if self.recovery is not None:
             self.recovery.tracer = tracer
+        if self.proactive is not None:
+            self.proactive.tracer = tracer
+            self.proactive.inhibition.tracer = tracer
 
     # ------------------------------------------------------------------
     def entry(self, request) -> None:
@@ -388,6 +444,8 @@ class ManagedSystem:
             self.optimizer.start()
         if self.recovery is not None:
             self.recovery.start()
+        if self.proactive is not None:
+            self.proactive.on_start()
         if cfg.sample_nodes:
             self._sampling_task = self.kernel.every(1.0, self._sample_nodes)
         for probe in self._passive_probes:
@@ -403,6 +461,8 @@ class ManagedSystem:
             self.optimizer.stop()
         if self.recovery is not None:
             self.recovery.stop()
+        if self.proactive is not None:
+            self.proactive.on_stop()
         if self.tracer is not None:
             self.tracer.emit(
                 KernelStats(

@@ -62,10 +62,12 @@ def to_json_dict(
     collector: MetricsCollector,
     horizon_s: Optional[float] = None,
     tracer=None,
+    seed: Optional[int] = None,
 ) -> dict:
     """A JSON-serializable report of the run.  When a decision ``tracer``
     is supplied, its per-run summary (event counts, decisions by reason,
-    reconfiguration durations) is included under ``"trace"``."""
+    reconfiguration durations) is included under ``"trace"``; ``seed``
+    records the experiment seed so the run can be replayed exactly."""
     stats = collector.latency_summary()
     report = {
         "requests": {
@@ -80,6 +82,8 @@ def to_json_dict(
         },
         "reconfigurations": [[t, d] for t, d in collector.reconfigurations],
     }
+    if seed is not None:
+        report["seed"] = seed
     if horizon_s is not None and collector.completed_requests:
         report["throughput_rps"] = collector.throughput(0.0, horizon_s)
     if tracer is not None:
@@ -92,6 +96,11 @@ def write_json(
     path: str,
     horizon_s: Optional[float] = None,
     tracer=None,
+    seed: Optional[int] = None,
 ) -> None:
     with open(path, "w") as fh:
-        json.dump(to_json_dict(collector, horizon_s, tracer=tracer), fh, indent=2)
+        json.dump(
+            to_json_dict(collector, horizon_s, tracer=tracer, seed=seed),
+            fh,
+            indent=2,
+        )

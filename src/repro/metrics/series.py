@@ -125,6 +125,21 @@ class StepSeries:
     def max(self) -> float:
         return float(np.max(self._v))
 
+    def integral(self, t0: float, t1: float) -> float:
+        """Integral of the step function over ``[t0, t1)`` — e.g. the
+        node-seconds held by a tier whose replica count this series tracks."""
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        changes = self.changes
+        for i, (start, value) in enumerate(changes):
+            end = changes[i + 1][0] if i + 1 < len(changes) else t1
+            lo = max(start, t0)
+            hi = min(end, t1)
+            if hi > lo:
+                total += value * (hi - lo)
+        return total
+
     def time_weighted_mean(self, t_end: float) -> float:
         """Mean value over [0, t_end], weighting by how long each level
         held — e.g. the average number of allocated nodes."""

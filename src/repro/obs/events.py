@@ -43,6 +43,10 @@ class DecisionReason:
     INHIBITED = "inhibited"        # the shared inhibition lock is held
     ACTUATOR_BUSY = "actuator-busy"  # the tier rejected the operation
     NO_DATA = "no-data"            # the reading was NaN (empty window/tier)
+    # Proactive-manager reasons: the trigger is a *predicted* crossing, not
+    # a measured one (repro.capacity.proactive).
+    PREDICTED_ABOVE_MAX = "predicted-above-max"
+    PREDICTED_BELOW_MIN = "predicted-below-min"
 
     SUPPRESSIONS = (AT_CAP, AT_FLOOR, INHIBITED, ACTUATOR_BUSY, NO_DATA)
 
@@ -165,6 +169,50 @@ class NodeFailed(TraceEvent):
 
 
 @dataclass(frozen=True)
+class ForecastIssued(TraceEvent):
+    """A capacity forecaster extrapolated the load over a horizon."""
+
+    kind: ClassVar[str] = "forecast-issued"
+
+    source: str        # manager name (e.g. "proactive")
+    model: str         # forecaster registry name ("ewma"/"trend"/"seasonal")
+    horizon_s: float
+    current: float     # last observed load
+    predicted_peak: float
+
+
+@dataclass(frozen=True)
+class WhatIfEvaluated(TraceEvent):
+    """The what-if engine compared candidate configurations on forked
+    branch simulations (``cause`` links back to the forecast)."""
+
+    kind: ClassVar[str] = "whatif-evaluated"
+
+    source: str
+    candidates: int
+    horizon_s: float
+    best: str          # winning candidate label (e.g. "app2/db3")
+    best_cost: float
+    infeasible: int    # candidates the node pool could not host
+
+
+@dataclass(frozen=True)
+class ProactiveDecision(TraceEvent):
+    """A proactive grow/shrink proposal (``cause`` links back to the
+    what-if evaluation or forecast that motivated it)."""
+
+    kind: ClassVar[str] = "proactive-decision"
+
+    source: str
+    tier: str
+    action: str        # DecisionAction
+    executed: bool
+    reason: str        # DecisionReason (predicted-* or a suppression)
+    predicted: float   # predicted peak load driving the decision
+    replicas: int
+
+
+@dataclass(frozen=True)
 class KernelStats(TraceEvent):
     """Event-loop counters, emitted once at the end of a traced run."""
 
@@ -188,6 +236,9 @@ EVENT_KINDS = {
         NodeAllocated,
         NodeReleased,
         NodeFailed,
+        ForecastIssued,
+        WhatIfEvaluated,
+        ProactiveDecision,
         KernelStats,
     )
 }

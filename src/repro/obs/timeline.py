@@ -57,6 +57,28 @@ def _describe(record: dict) -> str:
     if kind == "node-failed":
         node = record["node"] or "(none)"
         return f"{node} for {record['owner']}: {record['reason']}"
+    if kind == "forecast-issued":
+        return (
+            f"{record['source']} [{record['model']}]: "
+            f"load {record['current']:.0f} -> peak "
+            f"{record['predicted_peak']:.0f} over {record['horizon_s']:.0f}s"
+        )
+    if kind == "whatif-evaluated":
+        infeasible = (
+            f", {record['infeasible']} infeasible" if record.get("infeasible") else ""
+        )
+        return (
+            f"{record['source']}: {record['candidates']} candidates over "
+            f"{record['horizon_s']:.0f}s -> {record['best']} "
+            f"(cost {record['best_cost']:.3f}{infeasible})"
+        )
+    if kind == "proactive-decision":
+        state = "" if record["executed"] else " SUPPRESSED"
+        return (
+            f"{record['source']}: {record['action']} [{record['tier']}] "
+            f"({record['reason']}){state} predicted={record['predicted']:.0f} "
+            f"replicas={record['replicas']}"
+        )
     if kind == "kernel-stats":
         return (
             f"events={record['events_processed']} "

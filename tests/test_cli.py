@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import csv
+import json
 
 import pytest
 
@@ -36,6 +37,30 @@ class TestParser:
         assert args.file == "out.jsonl"
         assert args.all
         assert args.tail == 25
+
+    def test_proactive_flags(self):
+        assert build_parser().parse_args(["ramp", "--proactive"]).proactive
+        assert not build_parser().parse_args(["ramp"]).proactive
+        assert build_parser().parse_args(["steady", "--proactive"]).proactive
+
+    def test_whatif_options(self):
+        args = build_parser().parse_args(
+            ["whatif", "--at", "250", "--horizon", "90", "--warmup", "45",
+             "--model", "ewma", "--max-delta", "2", "--seed", "5",
+             "--report", "out.json"]
+        )
+        assert args.command == "whatif"
+        assert args.at == 250.0
+        assert args.horizon == 90.0
+        assert args.warmup == 45.0
+        assert args.model == "ewma"
+        assert args.max_delta == 2
+        assert args.seed == 5
+        assert args.report == "out.json"
+
+    def test_whatif_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["whatif", "--model", "oracle"])
 
 
 class TestCommands:
@@ -95,3 +120,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "digests identical: True" in out
         assert "detected failure" in out
+
+    def test_csv_export_records_seed(self, tmp_path, capsys):
+        path = tmp_path / "series.csv"
+        assert main(
+            ["steady", "--clients", "15", "--duration", "60",
+             "--seed", "17", "--csv", str(path)]
+        ) == 0
+        with open(tmp_path / "series.json") as fh:
+            report = json.load(fh)
+        assert report["seed"] == 17
+
+    def test_steady_proactive_prints_counters(self, capsys):
+        assert main(
+            ["steady", "--clients", "20", "--duration", "60", "--proactive"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Proactive manager:" in out
+        assert "forecasts" in out
+
+    def test_whatif_runs_and_reports(self, tmp_path, capsys):
+        report_path = tmp_path / "whatif.json"
+        assert main(
+            ["whatif", "--at", "100", "--scale", "0.15", "--peak", "200",
+             "--horizon", "40", "--warmup", "30", "--seed", "4",
+             "--report", str(report_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fork point t=100s" in out.lower() or "Fork:" in out
+        assert "<- best" in out
+        with open(report_path) as fh:
+            outcomes = json.load(fh)
+        assert isinstance(outcomes, list) and outcomes
+        labels = {o["candidate"] for o in outcomes}
+        assert any(label.startswith("app") for label in labels)
+        assert all("cost" in o for o in outcomes if o["feasible"])

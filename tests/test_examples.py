@@ -51,7 +51,14 @@ def test_self_recovery():
 
 
 @pytest.mark.parametrize(
-    "name", ["self_sizing.py", "latency_slo.py", "three_tier.py", "trace_replay.py"]
+    "name",
+    [
+        "self_sizing.py",
+        "latency_slo.py",
+        "three_tier.py",
+        "trace_replay.py",
+        "capacity_planning.py",
+    ],
 )
 def test_example_files_compile(name):
     """The heavy examples at least byte-compile (they run in benchmarks)."""

@@ -78,3 +78,11 @@ class TestJson:
         with open(path) as fh:
             loaded = json.load(fh)
         assert loaded["latency_s"]["count"] == 100
+
+    def test_seed_recorded_when_given(self, collector, tmp_path):
+        assert "seed" not in to_json_dict(collector)
+        assert to_json_dict(collector, seed=23)["seed"] == 23
+        path = tmp_path / "report.json"
+        write_json(collector, str(path), horizon_s=100.0, seed=23)
+        with open(path) as fh:
+            assert json.load(fh)["seed"] == 23

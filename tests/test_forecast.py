@@ -1,0 +1,168 @@
+"""Tests for the capacity forecasters (repro.capacity.forecast)."""
+
+import math
+
+import pytest
+
+from repro.capacity.forecast import (
+    EwmaForecaster,
+    FORECASTERS,
+    LinearTrendForecaster,
+    SeasonalForecaster,
+    make_forecaster,
+)
+
+
+class TestForecasterBase:
+    def test_rejects_non_monotonic_observations(self):
+        fc = EwmaForecaster()
+        fc.observe(10.0, 5.0)
+        with pytest.raises(ValueError, match="non-monotonic"):
+            fc.observe(9.0, 5.0)
+
+    def test_equal_timestamps_allowed(self):
+        fc = EwmaForecaster()
+        fc.observe(10.0, 5.0)
+        fc.observe(10.0, 6.0)  # same instant: fine
+        assert fc.observations == 2
+
+    def test_history_is_bounded(self):
+        fc = EwmaForecaster(history_s=100.0)
+        for t in range(0, 1000, 10):
+            fc.observe(float(t), 1.0)
+        oldest = fc._samples[0][0]
+        assert oldest >= 990.0 - 100.0
+
+    def test_predict_empty_before_any_observation(self):
+        assert EwmaForecaster().predict(60.0) == []
+        assert math.isnan(EwmaForecaster().predicted_peak(60.0))
+
+    def test_predict_validates_horizon_and_step(self):
+        fc = EwmaForecaster()
+        fc.observe(0.0, 1.0)
+        with pytest.raises(ValueError):
+            fc.predict(0.0)
+        with pytest.raises(ValueError):
+            fc.predict(60.0, step_s=0.0)
+
+    def test_predict_times_start_after_last_observation(self):
+        fc = EwmaForecaster()
+        fc.observe(100.0, 42.0)
+        series = fc.predict(60.0, step_s=15.0)
+        assert [t for t, _ in series] == [115.0, 130.0, 145.0, 160.0]
+
+    def test_registry_names(self):
+        assert set(FORECASTERS) == {"ewma", "trend", "seasonal"}
+
+    def test_make_forecaster(self):
+        assert isinstance(make_forecaster("ewma", tau_s=5.0), EwmaForecaster)
+        assert isinstance(make_forecaster("trend"), LinearTrendForecaster)
+        assert isinstance(make_forecaster("seasonal"), SeasonalForecaster)
+        with pytest.raises(ValueError, match="unknown forecaster"):
+            make_forecaster("oracle")
+
+
+class TestEwma:
+    def test_constant_stream_holds_level(self):
+        fc = EwmaForecaster(tau_s=30.0)
+        for t in range(0, 300, 10):
+            fc.observe(float(t), 7.0)
+        assert fc.level == pytest.approx(7.0)
+        assert all(v == pytest.approx(7.0) for _, v in fc.predict(120.0))
+
+    def test_step_response_converges(self):
+        fc = EwmaForecaster(tau_s=20.0)
+        fc.observe(0.0, 0.0)
+        for t in range(10, 400, 10):
+            fc.observe(float(t), 100.0)
+        # After many time constants the level is essentially the new value.
+        assert fc.level == pytest.approx(100.0, abs=1.0)
+
+    def test_irregular_spacing_uses_continuous_decay(self):
+        # One 20 s gap must decay exactly like two 10 s gaps.
+        a = EwmaForecaster(tau_s=30.0)
+        a.observe(0.0, 0.0)
+        a.observe(20.0, 60.0)
+        b = EwmaForecaster(tau_s=30.0)
+        b.observe(0.0, 0.0)
+        b.observe(10.0, 60.0)
+        b.observe(20.0, 60.0)
+        assert a.level == pytest.approx(b.level)
+
+
+class TestLinearTrend:
+    def test_exact_line_is_extrapolated(self):
+        fc = LinearTrendForecaster(window_s=100.0)
+        for t in range(0, 110, 10):
+            fc.observe(float(t), 50.0 + 2.0 * t)
+        series = fc.predict(30.0, step_s=10.0)
+        for t, v in series:
+            assert v == pytest.approx(50.0 + 2.0 * t, rel=1e-9)
+
+    def test_falling_line_clamps_at_zero(self):
+        fc = LinearTrendForecaster(window_s=100.0)
+        for t in range(0, 110, 10):
+            fc.observe(float(t), max(0.0, 50.0 - 1.0 * t))
+        far = fc.predict(600.0, step_s=100.0)
+        assert far[-1][1] == 0.0
+
+    def test_single_observation_predicts_flat(self):
+        fc = LinearTrendForecaster()
+        fc.observe(0.0, 33.0)
+        assert all(v == pytest.approx(33.0) for _, v in fc.predict(60.0))
+
+    def test_fit_window_excludes_stale_samples(self):
+        fc = LinearTrendForecaster(window_s=50.0)
+        # Old falling segment, then a recent rising one: only the rise fits.
+        for t in range(0, 100, 10):
+            fc.observe(float(t), 1000.0 - 5.0 * t)
+        for t in range(100, 160, 10):
+            fc.observe(float(t), 3.0 * t)
+        peak = fc.predicted_peak(60.0, step_s=15.0)
+        assert peak > fc.last[1]  # still rising
+
+
+class TestSeasonal:
+    def test_learns_periodic_shape(self):
+        fc = SeasonalForecaster(period_s=100.0, buckets=4)
+        # Two full periods of a square wave: 10 in the first half, 30 in
+        # the second.
+        for period in range(2):
+            for t, v in ((0, 10), (25, 10), (50, 30), (75, 30)):
+                fc.observe(period * 100.0 + t, float(v))
+        # Last observation is at phase 0.75 (value 30). Phase 0.25 of the
+        # next period should forecast the learned 10.
+        series = dict(fc.predict(60.0, step_s=25.0))
+        assert series[225.0] == pytest.approx(10.0)
+
+    def test_unseen_phase_holds_level(self):
+        fc = SeasonalForecaster(period_s=100.0, buckets=4)
+        fc.observe(10.0, 55.0)  # only one bucket populated
+        series = fc.predict(50.0, step_s=25.0)
+        assert all(v == pytest.approx(55.0) for _, v in series)
+
+    def test_level_offset_shifts_forecast(self):
+        cold = SeasonalForecaster(period_s=100.0, buckets=4)
+        hot = SeasonalForecaster(period_s=100.0, buckets=4)
+        for t, v in ((0, 10), (25, 20), (50, 30), (75, 40)):
+            cold.observe(float(t), float(v))
+            hot.observe(float(t), float(v))
+        # The hot workload's latest sample lands 25 against a bucket that
+        # averages to 17.5 once it is included, so every forecast point in
+        # the other buckets shifts by that +7.5 offset.
+        cold.observe(100.0, 10.0)
+        hot.observe(100.0, 25.0)
+        for (tc, vc), (th, vh) in zip(cold.predict(75.0, 25.0), hot.predict(75.0, 25.0)):
+            assert tc == th
+            assert vh == pytest.approx(vc + 7.5)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(FORECASTERS))
+    def test_identical_streams_identical_forecasts(self, name):
+        a, b = make_forecaster(name), make_forecaster(name)
+        stream = [(10.0 * k, 80.0 + 21.0 * (k % 13)) for k in range(60)]
+        for t, v in stream:
+            a.observe(t, v)
+            b.observe(t, v)
+        assert a.predict(120.0, 15.0) == b.predict(120.0, 15.0)

@@ -1,0 +1,257 @@
+"""Tests for the what-if engine (repro.capacity.whatif).
+
+The two load-bearing guarantees from the module docstring:
+
+* forking with the same seed twice yields **byte-identical** candidate
+  outcome reports, and
+* forking never mutates the parent run.
+"""
+
+import math
+
+import pytest
+
+from repro.capacity import (
+    CostModel,
+    LinearTrendForecaster,
+    SystemSnapshot,
+    WhatIfEngine,
+    run_to_fork,
+)
+from repro.capacity.whatif import BALANCER_NODES, Candidate, default_candidates
+from repro.jade.system import ExperimentConfig, ManagedSystem
+from repro.workload import DEFAULT_CALIBRATION
+from repro.workload.profiles import RampProfile
+
+#: a compressed ramp that crosses the DB grow threshold quickly
+RAMP = dict(base=80, peak=260, step_period_s=15.0, warmup_s=60.0, cooldown_s=60.0)
+FORK_AT = 150.0
+
+
+def build_system(seed: int = 11) -> ManagedSystem:
+    return ManagedSystem(
+        ExperimentConfig(
+            profile=RampProfile(**RAMP), seed=seed, managed=True,
+            sample_nodes=False,
+        )
+    )
+
+
+def make_engine() -> WhatIfEngine:
+    # Short windows keep the branch simulations cheap in the suite.
+    return WhatIfEngine(horizon_s=45.0, warmup_s=40.0, cost_model=CostModel())
+
+
+def forecast_from(system: ManagedSystem):
+    forecaster = LinearTrendForecaster()
+    for t, clients in system.collector.workload.changes:
+        forecaster.observe(t, clients)
+    return forecaster.predict(45.0, 15.0)
+
+
+@pytest.fixture(scope="module")
+def fork():
+    system = build_system()
+    snapshot = run_to_fork(system, FORK_AT)
+    return system, snapshot, forecast_from(system)
+
+
+class TestDeterminism:
+    def test_same_fork_twice_is_byte_identical(self, fork):
+        _, snapshot, forecast = fork
+        engine = make_engine()
+        first = engine.report(engine.evaluate(snapshot, forecast))
+        second = engine.report(engine.evaluate(snapshot, forecast))
+        assert first == second
+
+    def test_independent_parents_same_seed_agree(self, fork):
+        _, snapshot, forecast = fork
+        other = build_system()
+        other_snapshot = run_to_fork(other, FORK_AT)
+        assert other_snapshot == snapshot
+        report_a = make_engine().report(make_engine().evaluate(snapshot, forecast))
+        report_b = make_engine().report(
+            make_engine().evaluate(other_snapshot, forecast_from(other))
+        )
+        assert report_a == report_b
+
+    def test_different_seed_differs(self, fork):
+        _, snapshot, forecast = fork
+        other = build_system(seed=12)
+        other_snapshot = run_to_fork(other, FORK_AT)
+        report_a = make_engine().report(make_engine().evaluate(snapshot, forecast))
+        report_b = make_engine().report(
+            make_engine().evaluate(other_snapshot, forecast)
+        )
+        assert report_a != report_b
+
+
+class TestParentIsolation:
+    def test_evaluation_does_not_advance_or_mutate_parent(self, fork):
+        system, snapshot, forecast = fork
+        before = (
+            system.kernel.now,
+            system.kernel.events_processed,
+            system.collector.completed_requests,
+            system.collector.failed_requests,
+            len(system.collector.latencies),
+            system.app_tier.replica_count,
+            system.db_tier.replica_count,
+            system.cluster.free_count,
+        )
+        make_engine().evaluate(snapshot, forecast)
+        after = (
+            system.kernel.now,
+            system.kernel.events_processed,
+            system.collector.completed_requests,
+            system.collector.failed_requests,
+            len(system.collector.latencies),
+            system.app_tier.replica_count,
+            system.db_tier.replica_count,
+            system.cluster.free_count,
+        )
+        assert before == after
+
+    def test_parent_finishes_identically_with_and_without_whatif(self):
+        end = RampProfile(**RAMP).duration_s
+
+        def finish(evaluate: bool) -> tuple:
+            system = build_system()
+            snapshot = run_to_fork(system, FORK_AT)
+            if evaluate:
+                make_engine().evaluate(snapshot, forecast_from(system))
+            system.kernel.run(until=end)
+            col = system.collector
+            return (
+                col.completed_requests,
+                col.failed_requests,
+                [tuple(c) for c in col.tier_replicas["database"].changes],
+                round(col.latencies.window(0.0, end).mean(), 12),
+            )
+
+        assert finish(evaluate=False) == finish(evaluate=True)
+
+
+class TestCandidates:
+    def test_replica_counts_validated(self):
+        with pytest.raises(ValueError):
+            Candidate(0, 1)
+        with pytest.raises(ValueError):
+            Candidate(1, -1)
+
+    def test_label(self):
+        assert Candidate(2, 3).label == "app2/db3"
+
+    def test_default_candidates_at_floor_deduplicates(self, fork):
+        _, snapshot, _ = fork
+        floor = SystemSnapshot(
+            t=snapshot.t,
+            seed=snapshot.seed,
+            clients=snapshot.clients,
+            app_replicas=1,
+            db_replicas=1,
+            free_nodes=snapshot.free_nodes,
+            pool_nodes=snapshot.pool_nodes,
+            node_speed=snapshot.node_speed,
+            thrashing=snapshot.thrashing,
+            app_cpu=snapshot.app_cpu,
+            db_cpu=snapshot.db_cpu,
+            inhibition_free_at=snapshot.inhibition_free_at,
+            calibration=snapshot.calibration,
+        )
+        candidates = default_candidates(floor)
+        labels = [c.label for c in candidates]
+        assert labels == ["app1/db1", "app2/db1", "app1/db2", "app2/db2"]
+        assert len(set(labels)) == len(labels)
+
+    def test_max_delta_widens_neighbourhood(self, fork):
+        _, snapshot, _ = fork
+        wide = default_candidates(snapshot, max_delta=2)
+        assert len(wide) > len(default_candidates(snapshot, max_delta=1))
+
+
+class TestPoolExhaustion:
+    def test_oversized_candidate_is_infeasible(self):
+        # A 5-node pool: 2 balancers + tomcat1 + mysql1 leaves one free
+        # node, so app2/db2 cannot be hosted.
+        snapshot = SystemSnapshot(
+            t=100.0,
+            seed=3,
+            clients=60,
+            app_replicas=1,
+            db_replicas=1,
+            free_nodes=1,
+            pool_nodes=5,
+            node_speed=1.0,
+            thrashing=False,
+            app_cpu=0.5,
+            db_cpu=0.6,
+            inhibition_free_at=float("-inf"),
+            calibration=DEFAULT_CALIBRATION,
+        )
+        forecast = [(115.0, 70.0), (130.0, 80.0)]
+        engine = make_engine()
+        outcomes = engine.evaluate(
+            snapshot, forecast, [Candidate(1, 1), Candidate(2, 2)]
+        )
+        by_label = {o.candidate.label: o for o in outcomes}
+        assert by_label["app1/db1"].feasible
+        assert not by_label["app2/db2"].feasible
+        assert by_label["app2/db2"].error == "no-free-node"
+        assert math.isinf(by_label["app2/db2"].cost.total)
+        # Ranking skips the infeasible candidate.
+        assert engine.best(outcomes).candidate.label == "app1/db1"
+
+    def test_all_infeasible_raises(self):
+        snapshot = SystemSnapshot(
+            t=100.0,
+            seed=3,
+            clients=60,
+            app_replicas=1,
+            db_replicas=1,
+            free_nodes=0,
+            pool_nodes=4,
+            node_speed=1.0,
+            thrashing=False,
+            app_cpu=0.5,
+            db_cpu=0.6,
+            inhibition_free_at=float("-inf"),
+            calibration=DEFAULT_CALIBRATION,
+        )
+        engine = make_engine()
+        outcomes = engine.evaluate(snapshot, [(115.0, 70.0)], [Candidate(3, 3)])
+        assert not outcomes[0].feasible
+        with pytest.raises(ValueError, match="no feasible"):
+            engine.best(outcomes)
+
+
+class TestEngineContract:
+    def test_node_seconds_accounts_tiers_and_balancers(self, fork):
+        _, snapshot, forecast = fork
+        engine = make_engine()
+        outcome = engine.evaluate(snapshot, forecast, [Candidate(1, 1)])[0]
+        window = engine.horizon_s
+        floor = (BALANCER_NODES + 2) * window  # 2 balancers + app1 + db1
+        assert outcome.node_seconds >= floor - 1e-6
+
+    def test_run_to_fork_rejects_started_system(self):
+        system = build_system()
+        system.kernel.run(until=1.0)
+        with pytest.raises(ValueError, match="freshly built"):
+            run_to_fork(system, 10.0)
+
+    def test_engine_validates_windows(self):
+        with pytest.raises(ValueError):
+            WhatIfEngine(horizon_s=0.0)
+        with pytest.raises(ValueError):
+            WhatIfEngine(warmup_s=-1.0)
+
+    def test_report_is_sorted_canonical_json(self, fork):
+        _, snapshot, forecast = fork
+        engine = make_engine()
+        report = engine.report(engine.evaluate(snapshot, forecast, [Candidate(1, 1)]))
+        import json
+
+        parsed = json.loads(report)
+        assert isinstance(parsed, list)
+        assert list(parsed[0]) == sorted(parsed[0])

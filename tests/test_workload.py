@@ -196,6 +196,45 @@ class TestProfiles:
         with pytest.raises(ValueError):
             PiecewiseProfile([], duration_s=10.0)
 
+    def test_ramp_with_zero_duration_ramp_segment(self):
+        # peak == base: the staircase degenerates to nothing and the
+        # profile is flat end to end.
+        p = RampProfile(base=80, peak=80, warmup_s=100.0, cooldown_s=100.0)
+        assert p.steps == 0
+        assert p.ramp_s == 0.0
+        assert p.duration_s == 200.0
+        for t in (0.0, 50.0, 100.0, 150.0, 199.0):
+            assert p.clients_at(t) == 80
+        assert p.peak() == 80
+
+    def test_ramp_with_zero_warmup_and_cooldown(self):
+        p = RampProfile(
+            base=80, peak=122, step_clients=21, step_period_s=60.0,
+            warmup_s=0.0, cooldown_s=0.0,
+        )
+        # The first step applies immediately; the descent ends the profile.
+        assert p.clients_at(0.0) == 101
+        assert p.clients_at(61.0) == 122
+        assert p.duration_s == 2 * p.ramp_s
+        assert p.clients_at(p.duration_s - 1.0) == 101
+
+    def test_piecewise_zero_duration_segment(self):
+        # Two breakpoints at the same instant: breakpoints are sorted, so
+        # the one ordering last at that time wins and zero time is spent
+        # at the other — the population never dips through it.
+        p = PiecewiseProfile(
+            [(0.0, 10), (50.0, 99), (50.0, 30), (80.0, 5)], duration_s=100.0
+        )
+        assert p.clients_at(49.9) == 10
+        assert p.clients_at(50.0) == 99
+        assert p.clients_at(79.9) == 99
+        assert p.clients_at(80.0) == 5
+
+    def test_single_client_profile(self):
+        p = ConstantProfile(1, 60.0)
+        assert p.peak() == 1
+        assert p.clients_at(30.0) == 1
+
 
 class CountingEntry:
     """Entry point that completes every request after a fixed delay."""
@@ -254,6 +293,21 @@ class TestClientEmulator:
         kernel.run(until=120.0)
         assert collector.completed_requests == entry.count
         assert collector.latencies.values.mean() == pytest.approx(0.05, abs=1e-6)
+
+    def test_single_client_session(self, kernel):
+        """The degenerate one-client population still behaves: exactly one
+        session, think-time gaps between requests, everything completes."""
+        emulator, entry, collector = self.make(kernel, ConstantProfile(1, 300.0))
+        emulator.start()
+        kernel.run(until=150.0)
+        assert emulator.active_clients == 1
+        kernel.run(until=300.0)
+        assert entry.count > 1
+        assert collector.completed_requests == entry.count
+        assert collector.failed_requests == 0
+        # The interactive law X = 1 / (Z + R) holds only in expectation —
+        # a single client's think times leave a wide variance band.
+        assert 0.5 * (1 / 6.55) < collector.throughput(50.0, 300.0) < 2 * (1 / 6.55)
 
     def test_failures_recorded_and_clients_continue(self, kernel):
         class FailingEntry:
