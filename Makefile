@@ -1,6 +1,6 @@
 # Convenience targets for the Jade reproduction.
 
-.PHONY: install test lint bench bench-quick bench-smoke figures examples trace-demo whatif-demo clean
+.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check figures examples trace-demo whatif-demo clean
 
 install:
 	pip install -e .
@@ -33,6 +33,16 @@ bench-quick:
 bench-smoke:
 	REPRO_BENCH_SCALE=0.15 pytest benchmarks/bench_fig5_replicas.py \
 		--benchmark-only -x -q -s
+
+# Engine benchmark: micro scenarios + multi-seed ramp pair through the
+# parallel cached runner; refreshes the committed BENCH_engine.json.
+bench-engine:
+	python -m repro bench --out BENCH_engine.json
+
+# Perf gate used by CI: fail if the micro scenarios regress >25% against
+# the committed report.
+bench-engine-check:
+	python -m repro bench --check BENCH_engine.json --tolerance 0.25
 
 # Regenerate every paper figure/table series into benchmarks/results/
 figures: bench

@@ -17,7 +17,8 @@ from pathlib import Path
 
 from typing import Optional
 
-from repro.jade.system import ExperimentConfig, ManagedSystem
+from repro.jade.system import ExperimentConfig
+from repro.runner import CompletedRun, ExperimentRunner, ResultCache
 from repro.workload.profiles import ConstantProfile, RampProfile
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -36,7 +37,19 @@ PAPER = {
     "fig9_managed_latency_avg_ms": 590.0,
 }
 
-_cache: dict[str, ManagedSystem] = {}
+_cache: dict[str, CompletedRun] = {}
+
+
+def _runner() -> ExperimentRunner:
+    """Experiment runner for the shared figure runs.
+
+    Parallel by default (the managed/static ramp pair computes
+    concurrently on first use).  The on-disk result cache is opt-in for
+    benchmarks — set ``REPRO_BENCH_CACHE=1`` — because a cache hit would
+    make pytest-benchmark time a pickle load instead of a simulation.
+    """
+    cache = ResultCache() if os.environ.get("REPRO_BENCH_CACHE") else None
+    return ExperimentRunner(cache=cache)
 
 
 def _seed() -> int:
@@ -66,43 +79,47 @@ def ramp_profile() -> RampProfile:
     )
 
 
-def managed_ramp(seed: Optional[int] = None) -> ManagedSystem:
+def _ramp_config(managed: bool, seed: int) -> ExperimentConfig:
+    label = "ramp_managed" if managed else "ramp_static"
+    return ExperimentConfig(
+        profile=ramp_profile(),
+        seed=seed,
+        managed=managed,
+        trace_jsonl=_trace_sink(label),
+    )
+
+
+def _ramp_pair(seed: int) -> None:
+    """Compute the managed and static ramp runs for ``seed`` as one batch
+    (they are independent, so the runner executes them concurrently)."""
+    batch = {}
+    for managed in (True, False):
+        key = f"{'managed' if managed else 'static'}-{seed}"
+        if key not in _cache:
+            batch[key] = _ramp_config(managed, seed)
+    if batch:
+        _cache.update(_runner().run_many(batch))
+
+
+def managed_ramp(seed: Optional[int] = None) -> CompletedRun:
     """The Jade-managed ramp run (Figures 5, 6, 7, 9)."""
     seed = _seed() if seed is None else seed
     key = f"managed-{seed}"
     if key not in _cache:
-        system = ManagedSystem(
-            ExperimentConfig(
-                profile=ramp_profile(),
-                seed=seed,
-                managed=True,
-                trace_jsonl=_trace_sink("ramp_managed"),
-            )
-        )
-        system.run()
-        _cache[key] = system
+        _ramp_pair(seed)
     return _cache[key]
 
 
-def static_ramp(seed: Optional[int] = None) -> ManagedSystem:
+def static_ramp(seed: Optional[int] = None) -> CompletedRun:
     """The unmanaged ramp run (Figures 6, 7, 8 baselines)."""
     seed = _seed() if seed is None else seed
     key = f"static-{seed}"
     if key not in _cache:
-        system = ManagedSystem(
-            ExperimentConfig(
-                profile=ramp_profile(),
-                seed=seed,
-                managed=False,
-                trace_jsonl=_trace_sink("ramp_static"),
-            )
-        )
-        system.run()
-        _cache[key] = system
+        _ramp_pair(seed)
     return _cache[key]
 
 
-def proactive_ramp(seed: Optional[int] = None) -> ManagedSystem:
+def proactive_ramp(seed: Optional[int] = None) -> CompletedRun:
     """The ramp with the forecast-driven capacity manager alongside the
     reactive loops (the ``bench_ext_proactive`` treatment arm).
 
@@ -114,39 +131,38 @@ def proactive_ramp(seed: Optional[int] = None) -> ManagedSystem:
     seed = _seed() if seed is None else seed
     key = f"proactive-{seed}"
     if key not in _cache:
-        system = ManagedSystem(
-            ExperimentConfig(
-                profile=ramp_profile(),
-                seed=seed,
-                managed=True,
-                proactive=True,
-                proactive_config=ProactiveConfig(
-                    min_eval_interval_s=90.0,
-                    grow_margin=0.85,
-                    cost_model=CostModel(
-                        slo_latency_s=0.25, slo_violation_cost_per_s=0.2
-                    ),
+        config = ExperimentConfig(
+            profile=ramp_profile(),
+            seed=seed,
+            managed=True,
+            proactive=True,
+            proactive_config=ProactiveConfig(
+                min_eval_interval_s=90.0,
+                grow_margin=0.85,
+                cost_model=CostModel(
+                    slo_latency_s=0.25, slo_violation_cost_per_s=0.2
                 ),
-                trace_jsonl=_trace_sink("ramp_proactive"),
-            )
+            ),
+            trace_jsonl=_trace_sink("ramp_proactive"),
         )
-        system.run()
-        _cache[key] = system
+        _cache[key] = _runner().run(config)
     return _cache[key]
 
 
-def constant80(managed: bool, seed: Optional[int] = None) -> ManagedSystem:
-    """300 s at 80 clients (Table 1's medium workload)."""
+def constant80(managed: bool, seed: Optional[int] = None) -> CompletedRun:
+    """300 s at 80 clients (Table 1's medium workload); the managed and
+    unmanaged arms compute as one concurrent batch."""
     seed = _seed() if seed is None else seed
     key = f"const80-{managed}-{seed}"
     if key not in _cache:
-        system = ManagedSystem(
-            ExperimentConfig(
-                profile=ConstantProfile(80, 300.0), seed=seed, managed=managed
+        batch = {
+            f"const80-{m}-{seed}": ExperimentConfig(
+                profile=ConstantProfile(80, 300.0), seed=seed, managed=m
             )
-        )
-        system.run()
-        _cache[key] = system
+            for m in (True, False)
+            if f"const80-{m}-{seed}" not in _cache
+        }
+        _cache.update(_runner().run_many(batch))
     return _cache[key]
 
 

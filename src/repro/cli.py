@@ -43,6 +43,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scaling(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cohort",
+        type=int,
+        default=1,
+        metavar="K",
+        help="emulate clients in batches of K (one simulated process stands "
+        "for K identical browsers; lets the ramp run at 100k+ users)",
+    )
+    parser.add_argument(
+        "--hardware-scale",
+        type=float,
+        default=None,
+        metavar="H",
+        help="scale node speed/memory and the thrashing knee by H "
+        "(default: the cohort size, i.e. weak scaling)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -67,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the forecast-driven capacity manager alongside the "
         "reactive loops",
     )
+    _add_scaling(ramp)
     _add_common(ramp)
 
     steady = sub.add_parser("steady", help="constant load (Table 1 protocol)")
@@ -81,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the forecast-driven capacity manager alongside the "
         "reactive loops",
     )
+    _add_scaling(steady)
     _add_common(steady)
 
     recovery = sub.add_parser("recovery", help="DB replica crash + self-repair")
@@ -129,6 +150,46 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="time compression of the scenario (0.5 = half duration)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="engine benchmark: micro scenarios + multi-seed ramp pair "
+        "through the parallel cached runner",
+    )
+    bench.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the benchmark report JSON (e.g. BENCH_engine.json)",
+    )
+    bench.add_argument(
+        "--check", metavar="FILE", default=None,
+        help="perf-smoke mode: compare fresh micro timings against a "
+        "committed report; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed slowdown fraction in --check mode (default 0.25)",
+    )
+    bench.add_argument(
+        "--seeds", type=int, default=3, metavar="N",
+        help="replicate the ramp pair over seeds 1..N (default 3)",
+    )
+    bench.add_argument(
+        "--scale", type=float, default=0.15,
+        help="time compression of the ramp runs (default 0.15)",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=10,
+        help="best-of rounds for the micro scenarios (default 10)",
+    )
+    bench.add_argument(
+        "--serial", action="store_true", help="run experiments in-process"
+    )
+    bench.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+    bench.add_argument(
+        "--micro-only", action="store_true", help="skip the ramp replication"
     )
 
     trace = sub.add_parser(
@@ -226,27 +287,37 @@ def _run(config: ExperimentConfig, csv_path: Optional[str]) -> ManagedSystem:
 
 
 def cmd_ramp(args: argparse.Namespace) -> int:
+    # With cohorts the ramp keeps the paper's 3600 s trapezoid: base and
+    # step size scale with the cohort factor, so `--peak 100000 --cohort
+    # 200` is the 80->500->80 scenario with every client replaced by 200.
     profile = RampProfile(
+        base=80 * args.cohort,
         peak=args.peak,
+        step_clients=21 * args.cohort,
         warmup_s=300.0 * args.scale,
         step_period_s=60.0 * args.scale,
         cooldown_s=300.0 * args.scale,
     )
+    hs = args.hardware_scale if args.hardware_scale is not None else float(args.cohort)
     config = ExperimentConfig(
         profile=profile, seed=args.seed, managed=not args.static,
         proactive=args.proactive, trace_jsonl=args.trace,
+        cohort=args.cohort, hardware_scale=hs,
     )
     _run(config, args.csv)
     return 0
 
 
 def cmd_steady(args: argparse.Namespace) -> int:
+    hs = args.hardware_scale if args.hardware_scale is not None else float(args.cohort)
     config = ExperimentConfig(
         profile=ConstantProfile(args.clients, args.duration * args.scale),
         seed=args.seed,
         managed=not args.no_jade,
         proactive=args.proactive,
         trace_jsonl=args.trace,
+        cohort=args.cohort,
+        hardware_scale=hs,
     )
     _run(config, args.csv)
     return 0
@@ -349,6 +420,64 @@ def cmd_recovery(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.runner.bench import check_against, run_bench
+
+    if args.check:
+        ok, lines = check_against(
+            args.check, tolerance=args.tolerance, rounds=args.rounds
+        )
+        print("\n".join(lines))
+        print("perf-smoke:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
+
+    report = run_bench(
+        out_path=args.out,
+        seeds=tuple(range(1, args.seeds + 1)),
+        scale=args.scale,
+        rounds=args.rounds,
+        parallel=not args.serial,
+        use_cache=not args.no_cache,
+        skip_ramp=args.micro_only,
+    )
+    micro = report["micro"]
+    print("Micro scenarios (best of {}):".format(args.rounds))
+    print(
+        "  kernel 10k events : {:.2f} ms  ({:,.0f} events/s, {:.2f}x baseline)".format(
+            micro["kernel_10k_events"]["best_s"] * 1e3,
+            micro["kernel_10k_events"]["events_per_s"],
+            micro["kernel_10k_events"]["speedup_vs_baseline"],
+        )
+    )
+    print(
+        "  PS-CPU 5k jobs    : {:.2f} ms  ({:,.0f} jobs/s, {:.2f}x baseline)".format(
+            micro["ps_cpu_5k_jobs"]["best_s"] * 1e3,
+            micro["ps_cpu_5k_jobs"]["jobs_per_s"],
+            micro["ps_cpu_5k_jobs"]["speedup_vs_baseline"],
+        )
+    )
+    if "ramp" in report:
+        ramp = report["ramp"]
+        print(
+            f"\nRamp pair x{len(ramp['seeds'])} seeds (scale {ramp['scale']}): "
+            f"{ramp['parallel_elapsed_s']:.1f}s elapsed "
+            f"(serial estimate {ramp['serial_estimate_s']:.1f}s)"
+        )
+        for arm, stats in ramp["arms"].items():
+            thr = stats["throughput_rps"]
+            lat = stats["latency_mean_ms"]
+            print(
+                f"  {arm:<8s} throughput {thr['mean']:.2f} +/- {thr['ci95']:.2f} "
+                f"req/s, latency {lat['mean']:.1f} +/- {lat['ci95']:.1f} ms"
+            )
+        if "cache" in ramp:
+            c = ramp["cache"]
+            print(f"  cache: {c['hits']} hits / {c['misses']} misses ({c['dir']})")
+    if args.out:
+        print(f"\nReport written to {args.out}")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.timeline import render_timeline_file
 
@@ -366,6 +495,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "steady": cmd_steady,
         "recovery": cmd_recovery,
         "whatif": cmd_whatif,
+        "bench": cmd_bench,
         "trace": cmd_trace,
     }
     try:

@@ -64,12 +64,14 @@ class Node:
     # ------------------------------------------------------------------
     # CPU
     # ------------------------------------------------------------------
-    def run_job(self, demand: float, tag: object = None) -> CpuJob:
+    def run_job(self, demand: float, tag: object = None, weight: int = 1) -> CpuJob:
         """Submit CPU work of ``demand`` seconds (at unit speed) and return
-        the job; ``job.done`` fires on completion."""
+        the job; ``job.done`` fires on completion.  ``weight`` batches that
+        many identical requests into one job (see
+        :class:`~repro.simulation.resources.CpuJob`)."""
         if not self.up:
             raise NodeDown(self.name)
-        job = CpuJob(self.kernel, demand, tag=tag)
+        job = CpuJob(self.kernel, demand, tag=tag, weight=weight)
         self.cpu.submit(job)
         return job
 

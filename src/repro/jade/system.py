@@ -89,6 +89,13 @@ class ExperimentConfig:
     #: CPU speed of every node relative to the calibrated 2006-era machine
     #: (2.0 = hardware twice as fast; shifts every scaling point)
     node_speed: float = 1.0
+    #: emulate clients in batches of this size (one ClientCohort process
+    #: stands for ``cohort`` identical browsers); 1 = per-client processes
+    cohort: int = 1
+    #: scale node speed, memory, and the thrashing knee together (weak
+    #: scaling: hardware_scale == cohort keeps per-constituent utilization
+    #: identical to the unscaled run)
+    hardware_scale: float = 1.0
     inhibition_s: float = 60.0
     app_loop: LoopConfig = field(default_factory=lambda: replace(APP_LOOP_DEFAULTS))
     db_loop: LoopConfig = field(default_factory=lambda: replace(DB_LOOP_DEFAULTS))
@@ -136,8 +143,13 @@ class ManagedSystem:
         cal = cfg.calibration
 
         # --- cluster ---------------------------------------------------
+        hs = cfg.hardware_scale
         capacity = (
-            ThrashingCurve(cal.db_thrash_knee, cal.db_thrash_slope, cal.db_thrash_floor)
+            ThrashingCurve(
+                int(round(cal.db_thrash_knee * hs)),
+                cal.db_thrash_slope / hs,
+                cal.db_thrash_floor,
+            )
             if cfg.thrashing
             else (lambda n: 1.0)
         )
@@ -145,9 +157,9 @@ class ManagedSystem:
             Node(
                 self.kernel,
                 f"node{i}",
-                cpu_speed=cfg.node_speed,
+                cpu_speed=cfg.node_speed * hs,
                 capacity_model=capacity,
-                memory_mb=cal.node_memory_mb,
+                memory_mb=cal.node_memory_mb * hs,
                 base_os_mb=cal.node_base_os_mb,
                 per_job_mb=cal.per_job_mb,
             )
@@ -317,6 +329,7 @@ class ManagedSystem:
             streams=self.streams,
             calibration=cal,
             request_timeout_s=cfg.client_timeout_s,
+            cohort=cfg.cohort,
         )
 
         # --- proactive capacity manager (extension) ----------------------

@@ -71,24 +71,27 @@ class ApacheServer(LegacyServer):
             request.fail(self.kernel, f"{self.name}: 503 MaxClients reached")
             return
         request.trace(self.name)
+        weight = request.weight
         if request.is_static:
-            self._begin()
+            self._begin(weight)
             self._run_then(
                 request.static_demand,
                 lambda: self._finish_static(request),
                 lambda err: self._abort(request, f"static serve aborted: {err}"),
+                weight=weight,
             )
         else:
-            self._begin()
+            self._begin(weight)
             self._run_then(
-                self.proxy_demand,
+                self.proxy_demand * weight,
                 lambda: self._forward(request),
                 lambda err: self._abort(request, f"mod_jk aborted: {err}"),
+                weight=weight,
             )
 
     def _finish_static(self, request: WebRequest) -> None:
-        self.static_served += 1
-        self._end()
+        self.static_served += request.weight
+        self._end(weight=request.weight)
         request.complete(self.kernel)
 
     def _forward(self, request: WebRequest) -> None:
@@ -103,10 +106,10 @@ class ApacheServer(LegacyServer):
             return
         worker = self._policy.choose(live)
         server = self.directory.lookup(worker.host, worker.port)
-        self.dynamic_forwarded += 1
-        self._end()
+        self.dynamic_forwarded += request.weight
+        self._end(weight=request.weight)
         self._after_hop(server.handle, request)
 
     def _abort(self, request: WebRequest, reason: str) -> None:
-        self._end(ok=False)
+        self._end(ok=False, weight=request.weight)
         request.fail(self.kernel, f"{self.name}: {reason}")

@@ -223,11 +223,12 @@ class CJdbcController(LegacyServer):
             sig.fail(ServerNotRunning(self.name))
             return sig
         request.trace(self.name)
-        self._begin()
+        self._begin(request.weight)
         self._run_then(
-            self.route_demand,
+            self.route_demand * request.weight,
             lambda: self._route(request, sig),
-            lambda err: self._fail(sig, err),
+            lambda err: self._fail(sig, err, request.weight),
+            weight=request.weight,
         )
         return sig
 
@@ -239,31 +240,37 @@ class CJdbcController(LegacyServer):
 
     def _route_read(self, request: WebRequest, sig: Signal) -> None:
         enabled = self.enabled_backends()
+        weight = request.weight
         if not enabled:
-            self._fail(sig, ServerNotRunning(f"{self.name}: no enabled backend"))
+            self._fail(
+                sig, ServerNotRunning(f"{self.name}: no enabled backend"), weight
+            )
             return
         assert self._policy is not None
         handle = self._policy.choose(enabled)
-        self.reads_routed += 1
-        handle.inflight += 1
+        self.reads_routed += weight
+        handle.inflight += weight
 
         def answered(s: Signal) -> None:
-            handle.inflight -= 1
-            self._relay(s, sig)
+            handle.inflight -= weight
+            self._relay(s, sig, weight)
 
         def dispatch() -> None:
-            inner = handle.server.execute_read(request.db_demand)
+            inner = handle.server.execute_read(request.db_demand, weight)
             inner.add_callback(answered)
 
         self._after_hop(dispatch)
 
     def _route_write(self, request: WebRequest, sig: Signal) -> None:
         enabled = self.enabled_backends()
+        weight = request.weight
         if not enabled:
-            self._fail(sig, ServerNotRunning(f"{self.name}: no enabled backend"))
+            self._fail(
+                sig, ServerNotRunning(f"{self.name}: no enabled backend"), weight
+            )
             return
-        entry = self.log.append(request.interaction, request.db_demand)
-        self.writes_routed += 1
+        entry = self.log.append(request.interaction, request.db_demand, weight)
+        self.writes_routed += weight
         remaining = len(enabled)
         failed: list[BaseException] = []
 
@@ -275,11 +282,11 @@ class CJdbcController(LegacyServer):
             if remaining == 0:
                 if failed and len(failed) == len(enabled):
                     # Every replica failed the write: surface the error.
-                    self._fail(sig, failed[0])
+                    self._fail(sig, failed[0], weight)
                 else:
                     # Quorum semantics of RAIDb-1: the write succeeded on
                     # the surviving replicas; dead ones are repaired later.
-                    self._end()
+                    self._end(weight=weight)
                     sig.succeed(self)
 
         for handle in enabled:
@@ -287,13 +294,13 @@ class CJdbcController(LegacyServer):
                 lambda h=handle: h.server.execute_write(entry).add_callback(one_done)
             )
 
-    def _relay(self, inner: Signal, sig: Signal) -> None:
+    def _relay(self, inner: Signal, sig: Signal, weight: int = 1) -> None:
         if inner.error is not None:
-            self._fail(sig, inner.error)
+            self._fail(sig, inner.error, weight)
         else:
-            self._end()
+            self._end(weight=weight)
             sig.succeed(self)
 
-    def _fail(self, sig: Signal, err: BaseException) -> None:
-        self._end(ok=False)
+    def _fail(self, sig: Signal, err: BaseException, weight: int = 1) -> None:
+        self._end(ok=False, weight=weight)
         sig.fail(err)

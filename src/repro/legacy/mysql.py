@@ -97,14 +97,16 @@ class MySqlServer(LegacyServer):
                 self._next_local_write_id,
                 request.interaction,
                 request.db_demand,
+                request.weight,
             )
             self._next_local_write_id += 1
             return self._apply(entry, replay=False)
-        return self.execute_read(request.db_demand)
+        return self.execute_read(request.db_demand, request.weight)
 
-    def execute_read(self, demand: float) -> Signal:
+    def execute_read(self, demand: float, weight: int = 1) -> Signal:
         """Run a read query of the given CPU demand; the signal fires when
-        the result set is ready."""
+        the result set is ready.  ``weight`` batches that many identical
+        reads (cohorts) whose summed demand is ``demand``."""
         sig = Signal(self.kernel)
         if not self.running:
             sig.fail(ServerNotRunning(self.name))
@@ -112,18 +114,18 @@ class MySqlServer(LegacyServer):
         if not self._admit():
             sig.fail(ConnectionError(f"{self.name}: too many connections"))
             return sig
-        self._begin()
+        self._begin(weight)
 
         def ok() -> None:
-            self.reads_served += 1
-            self._end()
+            self.reads_served += weight
+            self._end(weight=weight)
             sig.succeed(self)
 
         def fail(err: BaseException) -> None:
-            self._end(ok=False)
+            self._end(ok=False, weight=weight)
             sig.fail(err)
 
-        self._run_then(demand, ok, fail)
+        self._run_then(demand, ok, fail, weight=weight)
         return sig
 
     def execute_write(self, entry: WriteEntry) -> Signal:
@@ -152,17 +154,17 @@ class MySqlServer(LegacyServer):
                 )
             )
             return sig
-        self._begin()
+        self._begin(entry.weight)
 
         def ok() -> None:
             self._ready[entry.index] = (entry, sig, replay)
             self._commit_ready()
 
         def fail(err: BaseException) -> None:
-            self._end(ok=False)
+            self._end(ok=False, weight=entry.weight)
             sig.fail(err)
 
-        self._run_then(entry.demand, ok, fail)
+        self._run_then(entry.demand, ok, fail, weight=entry.weight)
         return sig
 
     def _commit_ready(self) -> None:
@@ -175,5 +177,5 @@ class MySqlServer(LegacyServer):
                 self.replays_applied += 1
             else:
                 self.writes_applied += 1
-            self._end()
+            self._end(weight=entry.weight)
             sig.succeed(self)

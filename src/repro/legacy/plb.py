@@ -78,11 +78,12 @@ class PlbBalancer(LegacyServer):
             request.fail(self.kernel, f"{self.name} is not running")
             return
         request.trace(self.name)
-        self._begin()
+        self._begin(request.weight)
         self._run_then(
-            self.proxy_demand,
+            self.proxy_demand * request.weight,
             lambda: self._forward(request),
             lambda err: self._abort(request, f"proxy aborted: {err}"),
+            weight=request.weight,
         )
 
     def _forward(self, request: WebRequest) -> None:
@@ -103,10 +104,10 @@ class PlbBalancer(LegacyServer):
         if chosen is None:
             self._abort(request, "no live backend")
             return
-        self.forwarded += 1
-        self._end()
+        self.forwarded += request.weight
+        self._end(weight=request.weight)
         self._after_hop(chosen.handle, request)
 
     def _abort(self, request: WebRequest, reason: str) -> None:
-        self._end(ok=False)
+        self._end(ok=False, weight=request.weight)
         request.fail(self.kernel, f"{self.name}: {reason}")

@@ -18,15 +18,19 @@ from typing import Iterator, Optional
 
 
 class WriteEntry:
-    """One logged write request."""
+    """One logged write request (a cohort write batches ``weight`` identical
+    writes; ``demand`` is their summed CPU demand)."""
 
-    __slots__ = ("index", "write_id", "sql", "demand")
+    __slots__ = ("index", "write_id", "sql", "demand", "weight")
 
-    def __init__(self, index: int, write_id: int, sql: str, demand: float):
+    def __init__(
+        self, index: int, write_id: int, sql: str, demand: float, weight: int = 1
+    ):
         self.index = index
         self.write_id = write_id
         self.sql = sql
         self.demand = demand
+        self.weight = weight
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"WriteEntry(#{self.index}, id={self.write_id})"
@@ -46,9 +50,11 @@ class RecoveryLog:
         """Index the next appended entry will receive (== current length)."""
         return len(self._entries)
 
-    def append(self, sql: str, demand: float) -> WriteEntry:
+    def append(self, sql: str, demand: float, weight: int = 1) -> WriteEntry:
         """Log a write request; returns the entry (with its index)."""
-        entry = WriteEntry(len(self._entries), self._next_write_id, sql, demand)
+        entry = WriteEntry(
+            len(self._entries), self._next_write_id, sql, demand, weight
+        )
         self._next_write_id += 1
         self._entries.append(entry)
         return entry

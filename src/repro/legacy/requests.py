@@ -41,6 +41,7 @@ class WebRequest:
         "failed",
         "hops",
         "client_id",
+        "weight",
     )
 
     def __init__(
@@ -54,6 +55,7 @@ class WebRequest:
         db_demand: float = 0.0,
         static_demand: float = 0.0,
         client_id: Optional[int] = None,
+        weight: int = 1,
     ) -> None:
         self.req_id = next(_req_ids)
         self.interaction = interaction
@@ -69,6 +71,9 @@ class WebRequest:
         self.failed = False
         self.hops: list[str] = []
         self.client_id = client_id
+        #: number of identical client requests this object batches (cohort
+        #: aggregation); demands are the summed demands of all constituents
+        self.weight = weight
 
     @property
     def latency(self) -> Optional[float]:

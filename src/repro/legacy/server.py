@@ -132,16 +132,16 @@ class LegacyServer:
             return False
         return True
 
-    def _begin(self) -> None:
-        self.pending += 1
+    def _begin(self, weight: int = 1) -> None:
+        self.pending += weight
 
-    def _end(self, ok: bool = True) -> None:
-        self.pending -= 1
+    def _end(self, ok: bool = True, weight: int = 1) -> None:
+        self.pending -= weight
         assert self.pending >= 0, f"{self.name}: pending underflow"
         if ok:
-            self.served += 1
+            self.served += weight
         else:
-            self.failures += 1
+            self.failures += weight
 
     def _after_hop(self, fn: Callable[..., None], *args) -> None:
         """Run ``fn`` after a simulated network hop (immediately if no LAN
@@ -152,14 +152,21 @@ class LegacyServer:
             self.kernel.schedule(self.lan.message_delay(), fn, *args)
 
     def _run_then(
-        self, demand: float, fn: Callable[[], None], fail: Callable[[BaseException], None]
+        self,
+        demand: float,
+        fn: Callable[[], None],
+        fail: Callable[[BaseException], None],
+        weight: int = 1,
     ) -> None:
         """Consume ``demand`` seconds of CPU on our node, then call ``fn``;
-        on CPU abort (node crash) call ``fail``."""
+        on CPU abort (node crash) call ``fail``.  ``weight`` is the number
+        of batched identical requests the demand sums over (cohorts): the
+        CPU sees ``weight`` concurrent requests of ``demand / weight``
+        each."""
         if demand <= 0.0:
             fn()
             return
-        job = self.node.run_job(demand, tag=self.name)
+        job = self.node.run_job(demand, tag=self.name, weight=weight)
 
         def _done(sig: Signal) -> None:
             if sig.error is not None:

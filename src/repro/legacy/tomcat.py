@@ -83,11 +83,12 @@ class TomcatServer(LegacyServer):
             request.fail(self.kernel, f"{self.name}: 503 all threads busy")
             return
         request.trace(self.name)
-        self._begin()
+        self._begin(request.weight)
         self._run_then(
             request.app_demand_pre,
             lambda: self._query_db(request),
             lambda err: self._abort(request, f"servlet aborted: {err}"),
+            weight=request.weight,
         )
 
     def _query_db(self, request: WebRequest) -> None:
@@ -114,12 +115,13 @@ class TomcatServer(LegacyServer):
             request.app_demand_post,
             lambda: self._finish(request),
             lambda err: self._abort(request, f"response generation aborted: {err}"),
+            weight=request.weight,
         )
 
     def _finish(self, request: WebRequest) -> None:
-        self._end()
+        self._end(weight=request.weight)
         request.complete(self.kernel)
 
     def _abort(self, request: WebRequest, reason: str) -> None:
-        self._end(ok=False)
+        self._end(ok=False, weight=request.weight)
         request.fail(self.kernel, f"{self.name}: {reason}")

@@ -35,17 +35,25 @@ class MetricsCollector:
         self.reconfigurations: list[tuple[float, str]] = []
         self.completed_requests = 0
         self.failed_requests = 0
+        #: per-latency-sample weights (cohort completions record one sample
+        #: for ``weight`` identical constituent requests); parallel to
+        #: ``latencies``
+        self._latency_weights: list[float] = []
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def record_latency(self, t: float, latency_s: float) -> None:
-        self.completed_requests += 1
+    def record_latency(self, t: float, latency_s: float, weight: int = 1) -> None:
+        """Record one latency sample standing for ``weight`` identical
+        completions (cohort fan-out).  Percentile summaries treat the
+        sample once; counts and throughput are weighted."""
+        self.completed_requests += weight
         self.latencies.append(t, latency_s)
+        self._latency_weights.append(float(weight))
 
-    def record_failure(self, t: float) -> None:
-        self.failed_requests += 1
-        self.failures.append(t, 1.0)
+    def record_failure(self, t: float, weight: int = 1) -> None:
+        self.failed_requests += weight
+        self.failures.append(t, float(weight))
 
     def record_workload(self, t: float, clients: int) -> None:
         self.workload.set(t, float(clients))
@@ -76,11 +84,17 @@ class MetricsCollector:
         return summarize(self.latencies.values)
 
     def throughput(self, t_start: float, t_end: float) -> float:
-        """Completed requests per second over [t_start, t_end)."""
+        """Completed requests per second over [t_start, t_end), counting
+        each cohort sample as its weight in constituent requests."""
         if t_end <= t_start:
             raise ValueError("empty interval")
         t = self.latencies.times
-        n = int(np.count_nonzero((t >= t_start) & (t < t_end)))
+        mask = (t >= t_start) & (t < t_end)
+        w = np.asarray(self._latency_weights)
+        if len(w) == len(t):
+            n = float(w[mask].sum())
+        else:  # defensive: direct appends to ``latencies`` bypass weights
+            n = float(np.count_nonzero(mask))
         return n / (t_end - t_start)
 
     def latency_buckets(self, width: float, t_end: Optional[float] = None) -> TimeSeries:

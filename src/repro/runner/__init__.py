@@ -1,0 +1,34 @@
+"""Parallel, cached experiment runner.
+
+The figure benchmarks all reduce to "run :class:`ManagedSystem` with this
+:class:`ExperimentConfig` and analyse the collector".  Those runs are
+independent and expensive (the full §5.2 ramp simulates 3600 s), so this
+package provides the machinery to run them efficiently:
+
+* :mod:`repro.runner.results` — :class:`CompletedRun`, a picklable proxy
+  carrying everything the analysis code reads (collector, config, tier and
+  proactive counters) without the live kernel;
+* :mod:`repro.runner.fingerprint` — a content hash over the simulator's
+  source, so cached results invalidate when the code changes;
+* :mod:`repro.runner.cache` — a content-addressed on-disk result cache
+  keyed by (experiment description, code fingerprint);
+* :mod:`repro.runner.parallel` — :class:`ExperimentRunner`, which fans a
+  batch of configs out over a process pool with cache short-circuiting;
+* :mod:`repro.runner.bench` — the ``repro bench`` engine benchmark:
+  micro-benchmarks plus a multi-seed ramp replication, written to
+  ``BENCH_engine.json`` with confidence intervals.
+"""
+
+from repro.runner.cache import ResultCache, describe_config
+from repro.runner.fingerprint import code_fingerprint
+from repro.runner.parallel import ExperimentRunner, execute_config
+from repro.runner.results import CompletedRun
+
+__all__ = [
+    "CompletedRun",
+    "ExperimentRunner",
+    "ResultCache",
+    "code_fingerprint",
+    "describe_config",
+    "execute_config",
+]

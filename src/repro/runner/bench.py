@@ -1,0 +1,218 @@
+"""The ``repro bench`` engine benchmark.
+
+Two layers, written together to ``BENCH_engine.json``:
+
+* **micro** — the kernel and PS-CPU scenarios from
+  ``benchmarks/bench_micro_engine.py``, timed best-of-N against the
+  committed pre-optimization baselines, reporting events/s, jobs/s and
+  speedups;
+* **ramp** — a multi-seed replication of the managed/static §5.2 ramp pair
+  through the parallel cached runner, reporting per-arm means with 95 %
+  confidence intervals plus the parallel-vs-serial wall-clock and cache
+  statistics.
+
+The CI perf-smoke job runs ``repro bench --check BENCH_engine.json`` and
+fails if the fresh micro timings drift more than the tolerance from the
+committed numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.runner.cache import ResultCache
+from repro.runner.parallel import ExperimentRunner
+
+#: wall-clock of the micro scenarios before the engine fast-path work
+#: (event freelist, bucketed timers, token-guarded PS wakes), measured
+#: best-of-10 on the reference machine.  The ``speedup_vs_baseline``
+#: figures in BENCH_engine.json are relative to these.
+BASELINES_S = {
+    "kernel_10k_events": 0.034357,
+    "ps_cpu_5k_jobs": 0.069714,
+}
+
+
+# ----------------------------------------------------------------------
+# Micro scenarios (mirror benchmarks/bench_micro_engine.py)
+# ----------------------------------------------------------------------
+def _scenario_kernel() -> int:
+    from repro.simulation import SimKernel
+
+    kernel = SimKernel()
+    sink = []
+    for i in range(10_000):
+        kernel.schedule(float(i % 100) * 0.01, sink.append, i)
+    kernel.run()
+    return len(sink)
+
+
+def _scenario_ps(arrivals, demands) -> int:
+    from repro.simulation import CpuJob, PsCpu, SimKernel
+
+    kernel = SimKernel()
+    cpu = PsCpu(kernel)
+    for t, d in zip(arrivals, demands):
+        kernel.schedule_at(float(t), cpu.submit, CpuJob(kernel, float(d)))
+    kernel.run()
+    return cpu.completed
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = math.inf
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_micro(rounds: int = 10) -> dict[str, dict[str, float]]:
+    """Time both micro scenarios; returns the BENCH_engine ``micro`` block."""
+    rng = np.random.default_rng(0)
+    arrivals = np.cumsum(rng.exponential(0.01, size=5000))
+    demands = rng.gamma(4.0, 0.01 / 4.0, size=5000)
+
+    kernel_s = _best_of(_scenario_kernel, rounds)
+    ps_s = _best_of(lambda: _scenario_ps(arrivals, demands), rounds)
+    return {
+        "kernel_10k_events": {
+            "baseline_s": BASELINES_S["kernel_10k_events"],
+            "best_s": kernel_s,
+            "events_per_s": 10_000 / kernel_s,
+            "speedup_vs_baseline": BASELINES_S["kernel_10k_events"] / kernel_s,
+        },
+        "ps_cpu_5k_jobs": {
+            "baseline_s": BASELINES_S["ps_cpu_5k_jobs"],
+            "best_s": ps_s,
+            "jobs_per_s": 5000 / ps_s,
+            "speedup_vs_baseline": BASELINES_S["ps_cpu_5k_jobs"] / ps_s,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Multi-seed ramp replication
+# ----------------------------------------------------------------------
+def _stats(values: Sequence[float]) -> dict[str, float]:
+    arr = np.asarray(values, dtype=float)
+    mean = float(arr.mean())
+    if len(arr) > 1:
+        ci = 1.96 * float(arr.std(ddof=1)) / math.sqrt(len(arr))
+    else:
+        ci = 0.0
+    return {"mean": mean, "ci95": ci, "n": len(arr)}
+
+
+def _ramp_config(managed: bool, seed: int, scale: float):
+    from repro.jade.system import ExperimentConfig
+    from repro.workload.profiles import RampProfile
+
+    return ExperimentConfig(
+        profile=RampProfile(
+            warmup_s=300.0 * scale,
+            step_period_s=60.0 * scale,
+            cooldown_s=300.0 * scale,
+        ),
+        seed=seed,
+        managed=managed,
+    )
+
+
+def run_ramp_replication(
+    seeds: Sequence[int],
+    scale: float,
+    runner: ExperimentRunner,
+) -> dict:
+    """Run the managed/static ramp pair for every seed and aggregate."""
+    configs = {}
+    for seed in seeds:
+        configs[f"managed-{seed}"] = _ramp_config(True, seed, scale)
+        configs[f"static-{seed}"] = _ramp_config(False, seed, scale)
+    t0 = time.perf_counter()
+    results = runner.run_many(configs)
+    elapsed = time.perf_counter() - t0
+
+    arms = {}
+    for arm in ("managed", "static"):
+        summaries = [results[f"{arm}-{s}"].summary() for s in seeds]
+        walls = [results[f"{arm}-{s}"].wall_time_s for s in seeds]
+        arms[arm] = {
+            "throughput_rps": _stats([s["throughput_rps"] for s in summaries]),
+            "latency_mean_ms": _stats([s["latency_mean_ms"] for s in summaries]),
+            "completed": _stats([s["completed"] for s in summaries]),
+            "wall_time_s": _stats(walls),
+        }
+    serial_estimate = sum(r.wall_time_s for r in results.values())
+    block = {
+        "scale": scale,
+        "seeds": list(seeds),
+        "arms": arms,
+        "runs": len(results),
+        "parallel_elapsed_s": elapsed,
+        "serial_estimate_s": serial_estimate,
+    }
+    if runner.cache is not None:
+        block["cache"] = {
+            "hits": runner.cache.hits,
+            "misses": runner.cache.misses,
+            "dir": str(runner.cache.root),
+        }
+    return block
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def run_bench(
+    out_path: Optional[str] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+    scale: float = 0.15,
+    rounds: int = 10,
+    parallel: bool = True,
+    use_cache: bool = True,
+    skip_ramp: bool = False,
+) -> dict:
+    """Run the full engine benchmark; optionally write BENCH_engine.json."""
+    report: dict = {"micro": run_micro(rounds)}
+    if not skip_ramp:
+        runner = ExperimentRunner(
+            cache=ResultCache() if use_cache else None, parallel=parallel
+        )
+        report["ramp"] = run_ramp_replication(seeds, scale, runner)
+    if out_path:
+        Path(out_path).write_text(
+            json.dumps(report, indent=2, default=float) + "\n"
+        )
+    return report
+
+
+def check_against(
+    reference_path: str, tolerance: float = 0.25, rounds: int = 10
+) -> tuple[bool, list[str]]:
+    """Perf-smoke gate: re-time the micro scenarios and compare against a
+    committed BENCH_engine.json.  A scenario fails if it is slower than
+    ``(1 + tolerance) ×`` the committed timing (being *faster* never
+    fails).  Returns (ok, report lines)."""
+    reference = json.loads(Path(reference_path).read_text())
+    fresh = run_micro(rounds)
+    ok = True
+    lines = []
+    for name, block in fresh.items():
+        committed = reference["micro"][name]["best_s"]
+        measured = block["best_s"]
+        limit = committed * (1.0 + tolerance)
+        passed = measured <= limit
+        ok = ok and passed
+        lines.append(
+            f"{name}: {measured * 1e3:.2f} ms vs committed "
+            f"{committed * 1e3:.2f} ms (limit {limit * 1e3:.2f} ms) "
+            f"{'ok' if passed else 'REGRESSION'}"
+        )
+    return ok, lines

@@ -1,0 +1,151 @@
+"""Content-addressed on-disk result cache.
+
+A cache entry is addressed by ``sha256(description ++ code fingerprint)``
+where *description* is a canonical, human-readable rendering of the
+:class:`ExperimentConfig` (every field, recursively, including the workload
+profile and calibration).  Two configs with equal descriptions are the same
+experiment; any change to the simulator's source changes the fingerprint
+and orphans every entry (see :mod:`repro.runner.fingerprint`).
+
+Layout (under ``$REPRO_CACHE_DIR``, default ``~/.cache/repro-jade``)::
+
+    <key>.pkl    pickled CompletedRun (the payload)
+    <key>.json   metadata sidecar: description, fingerprint, wall time,
+                 summary — greppable without unpickling
+
+Entries are immutable; invalidation is by key change only, so ``rm -r``
+on the directory is always safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.runner.fingerprint import code_fingerprint
+from repro.runner.results import CompletedRun
+
+_DEFAULT_DIR = "~/.cache/repro-jade"
+
+
+def _canon(value):
+    """Recursively render a config value as plain JSON-able data.
+
+    Dataclasses and plain attribute-bag objects become ``{"__type__": name,
+    ...fields}``; callables are rejected because they cannot be described
+    by value (a config holding one is not cacheable).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in sorted(value.items())}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {"__type__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            out[f.name] = _canon(getattr(value, f.name))
+        return out
+    if callable(value):
+        raise TypeError(
+            f"config contains a callable ({value!r}); not describable by value"
+        )
+    if hasattr(value, "__dict__") or hasattr(type(value), "__slots__"):
+        out = {"__type__": type(value).__name__}
+        attrs = getattr(value, "__dict__", None)
+        if attrs is None:
+            attrs = {
+                s: getattr(value, s)
+                for s in type(value).__slots__
+                if hasattr(value, s)
+            }
+        for name in sorted(attrs):
+            out[name] = _canon(attrs[name])
+        return out
+    raise TypeError(f"cannot canonicalize {type(value).__name__}: {value!r}")
+
+
+def describe_config(config) -> str:
+    """Canonical text form of an :class:`ExperimentConfig` (stable across
+    processes and sessions; the cache-key input)."""
+    return json.dumps(_canon(config), sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """Load/store :class:`CompletedRun` payloads by experiment identity."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        if root is None:
+            root = Path(
+                os.environ.get("REPRO_CACHE_DIR", _DEFAULT_DIR)
+            ).expanduser()
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key_for(self, config, fingerprint: Optional[str] = None) -> str:
+        if fingerprint is None:
+            fingerprint = code_fingerprint()
+        digest = hashlib.sha256()
+        digest.update(describe_config(config).encode())
+        digest.update(b"\n")
+        digest.update(fingerprint.encode())
+        return digest.hexdigest()
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        return self.root / f"{key}.pkl", self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[CompletedRun]:
+        payload, _ = self._paths(key)
+        try:
+            with open(payload, "rb") as fh:
+                run = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return run
+
+    def store(self, key: str, run: CompletedRun, config=None) -> Path:
+        """Persist atomically (write-rename, so readers never see a torn
+        entry); returns the payload path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload, sidecar = self._paths(key)
+        blob = pickle.dumps(run, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, payload)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        meta = {
+            "key": key,
+            "code_fingerprint": code_fingerprint(),
+            "wall_time_s": run.wall_time_s,
+            "events_processed": run.events_processed,
+            "summary": run.summary(),
+        }
+        if config is not None:
+            meta["config"] = json.loads(describe_config(config))
+        sidecar.write_text(json.dumps(meta, indent=2, default=float) + "\n")
+        return payload
+
+    # ------------------------------------------------------------------
+    def get_or_none(self, config) -> Optional[CompletedRun]:
+        return self.load(self.key_for(config))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ResultCache({self.root}, {self.hits} hits/{self.misses} misses)"

@@ -1,0 +1,42 @@
+"""Source fingerprint for cache invalidation.
+
+A cached experiment result is only valid for the code that produced it.
+Rather than tracking which modules an experiment touches (everything, in
+practice — the simulation is one connected system), the cache key folds in
+a single content hash over every ``.py`` file under the ``repro`` package.
+Any source edit — even a comment — invalidates the whole cache; that is
+deliberate, because a stale hit is far more expensive to debug than a
+recomputed miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional
+
+_cached: dict[str, str] = {}
+
+
+def code_fingerprint(root: Optional[Path] = None) -> str:
+    """Hex digest over the sorted relative paths and contents of every
+    Python source file under ``root`` (default: the installed ``repro``
+    package).  Memoized per process per root."""
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    root = Path(root)
+    key = str(root)
+    hit = _cached.get(key)
+    if hit is not None:
+        return hit
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    result = digest.hexdigest()
+    _cached[key] = result
+    return result

@@ -1,0 +1,113 @@
+"""Process-parallel experiment execution with cache short-circuiting.
+
+Experiments are embarrassingly parallel — each (config, seed) builds its
+own kernel and RNG streams — so a batch fans out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Determinism is
+preserved: a run's result depends only on its config, never on scheduling,
+so parallel and serial execution produce identical
+:class:`~repro.runner.results.CompletedRun` payloads (asserted by tests).
+
+The runner consults the :class:`~repro.runner.cache.ResultCache` before
+dispatching and stores every fresh result, so a repeated ``repro bench``
+(or a re-run benchmark session) costs one cache load per experiment.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Mapping, Optional, Sequence
+
+from repro.runner.cache import ResultCache
+from repro.runner.results import CompletedRun
+
+
+def execute_config(config) -> CompletedRun:
+    """Build, run, and distill one experiment (the worker entry point —
+    must stay module-level so it is importable from a pool worker)."""
+    from repro.jade.system import ManagedSystem
+
+    t0 = time.perf_counter()
+    system = ManagedSystem(config)
+    system.run()
+    return CompletedRun.from_system(system, time.perf_counter() - t0)
+
+
+class ExperimentRunner:
+    """Run batches of :class:`ExperimentConfig`, in parallel, through the
+    result cache.
+
+    ``parallel=False`` (or ``REPRO_RUNNER_SERIAL=1``) degrades to in-process
+    serial execution — same results, no pool; useful under debuggers and on
+    single-core machines where worker start-up costs more than it saves.
+    ``cache=None`` disables caching entirely (every run computes).
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        parallel: bool = True,
+    ) -> None:
+        if os.environ.get("REPRO_RUNNER_SERIAL"):
+            parallel = False
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.cache = cache
+        self.parallel = parallel and self.max_workers > 1
+
+    # ------------------------------------------------------------------
+    def run(self, config) -> CompletedRun:
+        """Run one experiment (cache-aware)."""
+        return self.run_many({"run": config})["run"]
+
+    def run_many(self, configs: Mapping[str, object]) -> dict[str, CompletedRun]:
+        """Run a labelled batch; returns ``{label: CompletedRun}``.
+
+        Cache hits resolve immediately; misses execute concurrently (or
+        serially without a pool) and are stored on completion.
+        """
+        results: dict[str, CompletedRun] = {}
+        pending: list[tuple[str, object, Optional[str]]] = []
+        for label, config in configs.items():
+            if self.cache is not None:
+                key = self.cache.key_for(config)
+                hit = self.cache.load(key)
+                if hit is not None:
+                    results[label] = hit
+                    continue
+                pending.append((label, config, key))
+            else:
+                pending.append((label, config, None))
+
+        if not pending:
+            return results
+
+        if self.parallel and len(pending) > 1:
+            workers = min(self.max_workers, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    label: pool.submit(execute_config, config)
+                    for label, config, _ in pending
+                }
+                fresh = {label: futures[label].result() for label, _, _ in pending}
+        else:
+            fresh = {
+                label: execute_config(config) for label, config, _ in pending
+            }
+
+        for label, config, key in pending:
+            run = fresh[label]
+            if self.cache is not None and key is not None:
+                self.cache.store(key, run, config=config)
+            results[label] = run
+        return results
+
+    def run_seeds(
+        self, make_config, seeds: Sequence[int], prefix: str = "seed"
+    ) -> dict[int, CompletedRun]:
+        """Replicate one experiment across seeds: ``make_config(seed)``
+        builds each arm's config.  Returns ``{seed: CompletedRun}``."""
+        labelled = {f"{prefix}-{s}": make_config(s) for s in seeds}
+        results = self.run_many(labelled)
+        return {s: results[f"{prefix}-{s}"] for s in seeds}

@@ -1,0 +1,162 @@
+"""Picklable experiment results.
+
+A live :class:`~repro.jade.system.ManagedSystem` cannot cross a process
+boundary (the kernel holds generator frames and callback closures), and it
+cannot be cached on disk for the same reason.  :class:`CompletedRun` is the
+transportable distillate: the collector, the config, and the handful of
+counters the benchmarks and examples read off the live object.  Everything
+in it is plain data, so two runs of the same config produce structurally
+identical pickles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class TierStats:
+    """Reconfiguration counters of one :class:`TierManager`."""
+
+    __slots__ = ("name", "grows_completed", "shrinks_completed", "replicas")
+
+    def __init__(
+        self, name: str, grows_completed: int, shrinks_completed: int, replicas: int
+    ) -> None:
+        self.name = name
+        self.grows_completed = grows_completed
+        self.shrinks_completed = shrinks_completed
+        self.replicas = replicas
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TierStats({self.name}, +{self.grows_completed}/"
+            f"-{self.shrinks_completed}, x{self.replicas})"
+        )
+
+
+class ProactiveStats:
+    """Decision counters of the proactive capacity manager."""
+
+    __slots__ = (
+        "forecasts_issued",
+        "evaluations",
+        "grows_triggered",
+        "shrinks_triggered",
+        "decisions_suppressed",
+    )
+
+    def __init__(
+        self,
+        forecasts_issued: int,
+        evaluations: int,
+        grows_triggered: int,
+        shrinks_triggered: int,
+        decisions_suppressed: int,
+    ) -> None:
+        self.forecasts_issued = forecasts_issued
+        self.evaluations = evaluations
+        self.grows_triggered = grows_triggered
+        self.shrinks_triggered = shrinks_triggered
+        self.decisions_suppressed = decisions_suppressed
+
+
+class CompletedRun:
+    """Everything an analysis needs from a finished experiment.
+
+    Exposes the same read surface the benchmarks use on a live
+    :class:`ManagedSystem` — ``collector``, ``config``, ``app_tier`` /
+    ``db_tier`` counters, optional ``proactive`` counters, and
+    :meth:`summary` — so the two are interchangeable downstream.
+    """
+
+    __slots__ = (
+        "config",
+        "collector",
+        "app_tier",
+        "db_tier",
+        "proactive",
+        "events_processed",
+        "wall_time_s",
+    )
+
+    def __init__(
+        self,
+        config,
+        collector,
+        app_tier: TierStats,
+        db_tier: TierStats,
+        proactive: Optional[ProactiveStats],
+        events_processed: int,
+        wall_time_s: float,
+    ) -> None:
+        self.config = config
+        self.collector = collector
+        self.app_tier = app_tier
+        self.db_tier = db_tier
+        self.proactive = proactive
+        self.events_processed = events_processed
+        self.wall_time_s = wall_time_s
+
+    @classmethod
+    def from_system(cls, system, wall_time_s: float) -> "CompletedRun":
+        """Distill a finished :class:`ManagedSystem`."""
+        proactive = None
+        live = getattr(system, "proactive", None)
+        if live is not None:
+            proactive = ProactiveStats(
+                live.forecasts_issued,
+                live.evaluations,
+                live.grows_triggered,
+                live.shrinks_triggered,
+                live.decisions_suppressed,
+            )
+        return cls(
+            config=system.config,
+            collector=system.collector,
+            app_tier=TierStats(
+                "application",
+                system.app_tier.grows_completed,
+                system.app_tier.shrinks_completed,
+                len(system.app_tier.replicas),
+            ),
+            db_tier=TierStats(
+                "database",
+                system.db_tier.grows_completed,
+                system.db_tier.shrinks_completed,
+                len(system.db_tier.replicas),
+            ),
+            proactive=proactive,
+            events_processed=system.kernel.events_processed,
+            wall_time_s=wall_time_s,
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Same table as :meth:`ManagedSystem.summary`."""
+        col = self.collector
+        horizon = self.config.profile.duration_s
+        return {
+            "completed": col.completed_requests,
+            "failed": col.failed_requests,
+            "throughput_rps": col.throughput(0.0, horizon),
+            "latency_mean_ms": col.latency_summary()["mean"] * 1e3,
+            "latency_p95_ms": col.latency_summary()["p95"] * 1e3,
+            "app_replicas_max": (
+                col.tier_replicas["application"].max()
+                if "application" in col.tier_replicas
+                else 1
+            ),
+            "db_replicas_max": (
+                col.tier_replicas["database"].max()
+                if "database" in col.tier_replicas
+                else 1
+            ),
+            "node_cpu_mean": col.node_cpu.mean(),
+            "node_mem_mean": col.node_memory.mean(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CompletedRun(seed={self.config.seed}, "
+            f"{self.collector.completed_requests} completed, "
+            f"{self.events_processed} events, {self.wall_time_s:.2f}s wall)"
+        )

@@ -47,7 +47,9 @@ class Signal:
 
     def __init__(self, kernel: SimKernel):
         self._kernel = kernel
-        self._callbacks: list[Callable[["Signal"], None]] = []
+        # Lazily allocated: most signals (request/job completions) have at
+        # most one waiter, many have none.
+        self._callbacks: Optional[list[Callable[["Signal"], None]]] = None
         self.fired = False
         self.value: Any = None
         self.error: Optional[BaseException] = None
@@ -56,27 +58,37 @@ class Signal:
         """Run ``fn(self)`` when the signal fires (immediately if already
         fired)."""
         if self.fired:
-            self._kernel.call_soon(fn, self)
+            self._kernel.post(fn, self)
+        elif self._callbacks is None:
+            self._callbacks = [fn]
         else:
             self._callbacks.append(fn)
 
     def succeed(self, value: Any = None) -> None:
         """Fire the signal successfully with ``value``."""
-        self._fire(value, None)
-
-    def fail(self, error: BaseException) -> None:
-        """Fire the signal with an error; waiting processes see it raised."""
-        self._fire(None, error)
-
-    def _fire(self, value: Any, error: Optional[BaseException]) -> None:
         if self.fired:
             raise RuntimeError("Signal already fired")
         self.fired = True
         self.value = value
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            post = self._kernel.post
+            for fn in callbacks:
+                post(fn, self)
+
+    def fail(self, error: BaseException) -> None:
+        """Fire the signal with an error; waiting processes see it raised."""
+        if self.fired:
+            raise RuntimeError("Signal already fired")
+        self.fired = True
         self.error = error
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            self._kernel.call_soon(fn, self)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            post = self._kernel.post
+            for fn in callbacks:
+                post(fn, self)
 
 
 class _Sleep:
@@ -123,7 +135,7 @@ class Process:
         self.name = name
         self.done = Signal(kernel)
         self.alive = True
-        kernel.call_soon(self._resume, None, None)
+        kernel.post(self._resume, None, None)
 
     def _resume(self, value: Any, error: Optional[BaseException]) -> None:
         if not self.alive:
@@ -145,7 +157,10 @@ class Process:
 
     def _dispatch(self, command: Any) -> None:
         if isinstance(command, _Sleep):
-            self._kernel.schedule(command.duration, self._resume, None, None)
+            # Fire-and-forget: a sleeping process is resumed, never cancelled
+            # (kill() flips ``alive`` and the resume no-ops), so the pooled
+            # path avoids one Event allocation per think-time.
+            self._kernel.post_in(command.duration, self._resume, None, None)
         elif isinstance(command, _Wait):
             command.signal.add_callback(self._on_signal)
         elif isinstance(command, Signal):

@@ -80,14 +80,33 @@ class CpuJob:
     ``demand`` is expressed in seconds of CPU time *at full speed*; the
     resource's ``speed`` factor and capacity model determine how long the job
     actually takes.  ``done`` fires with the job when service completes.
+
+    ``weight`` models a *cohort* of identical concurrent requests as one
+    job: a job of weight ``w`` counts as ``w`` concurrent requests for
+    processor sharing and the capacity model, and ``demand`` is the summed
+    demand of all ``w`` constituents (each constituent thus contributes
+    ``demand / w``).  All constituents finish together.
     """
 
-    __slots__ = ("demand", "done", "tag", "submitted_at", "completed_at", "_vfinish")
+    __slots__ = (
+        "demand",
+        "weight",
+        "done",
+        "tag",
+        "submitted_at",
+        "completed_at",
+        "_vfinish",
+    )
 
-    def __init__(self, kernel: SimKernel, demand: float, tag: object = None):
+    def __init__(
+        self, kernel: SimKernel, demand: float, tag: object = None, weight: int = 1
+    ):
         if demand < 0:
             raise ValueError("demand must be >= 0")
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
         self.demand = demand
+        self.weight = weight
         self.done = Signal(kernel)
         self.tag = tag
         self.submitted_at: Optional[float] = None
@@ -153,6 +172,15 @@ class PsCpu(CpuResource):
     a job of demand ``d`` arriving when virtual time is ``V0`` finishes when
     ``V`` reaches ``V0 + d``.  A heap keyed on finish virtual time yields the
     next completion in O(log n).
+
+    Completion wake-ups are *lazy*: an arrival that cannot preempt the head
+    completion leaves the pending wake-up event untouched even though the
+    head's real finish time just moved later (the per-job rate dropped).
+    The wake-up then fires early, finds nothing due, and reschedules for the
+    recomputed finish time.  Early firing is always safe — arrivals only
+    ever push completions *later* — and it replaces the former
+    cancel-and-reschedule per arrival (and its heap tombstone) with at most
+    one extra no-op dispatch per rate change.
     """
 
     def __init__(
@@ -164,12 +192,18 @@ class PsCpu(CpuResource):
     ):
         super().__init__(kernel, speed, name)
         self.capacity_model = capacity_model
+        # Ideal CPUs (no thrashing curve) skip the capacity-model call on
+        # every rate computation — the dominant case for web/app tiers.
+        self._ideal = capacity_model is constant_capacity
         self._vnow = 0.0
         self._vlast = kernel.now  # real time of last virtual-time update
         self._heap: list[tuple[float, int, CpuJob]] = []
         self._seq = itertools.count()
-        self._live = 0  # non-aborted entries in the heap
-        self._completion_event: Optional[Event] = None
+        self._live = 0  # summed weight of non-aborted entries in the heap
+        #: generation token of the current wake-up; superseding a wake is a
+        #: counter bump, not an event cancellation (no heap tombstones)
+        self._wake_token = 0
+        self._wake_at = float("inf")  # real time of the pending wake-up
 
     @property
     def active_jobs(self) -> int:
@@ -191,24 +225,52 @@ class PsCpu(CpuResource):
     def submit(self, job: CpuJob) -> CpuJob:
         """Add a job to the shared processor.  ``job.done`` fires on
         completion.  Zero-demand jobs complete immediately."""
-        self._advance_accounting()
-        self._advance_virtual()
-        job.submitted_at = self.kernel.now
+        kernel = self.kernel
+        now = kernel._now  # hot path: skip the property
+        # Inlined _advance_accounting + _advance_virtual (hot path).
+        if now > self._last_update:
+            if self._live > 0:
+                self.busy_integral += now - self._last_update
+            self._last_update = now
+        if now > self._vlast:
+            n = self._live
+            if n:
+                rate = (
+                    self.speed / n
+                    if self._ideal
+                    else self.speed * self.capacity_model(n) / n
+                )
+                self._vnow += (now - self._vlast) * rate
+        self._vlast = now
+        job.submitted_at = now
+        weight = job.weight
         if job.demand == 0.0:
-            job.completed_at = self.kernel.now
-            self.completed += 1
+            job.completed_at = now
+            self.completed += weight
             job.done.succeed(job)
             return job
-        job._vfinish = self._vnow + job.demand
-        heapq.heappush(self._heap, (job._vfinish, next(self._seq), job))
-        self._live += 1
-        self._reschedule_completion()
+        vfinish = self._vnow + (job.demand / weight if weight != 1 else job.demand)
+        job._vfinish = vfinish
+        heapq.heappush(self._heap, (vfinish, next(self._seq), job))
+        self._live += weight
+        # Wake-up fast path: reschedule only if the new job preempts the
+        # pending wake; otherwise the (now early) wake recomputes lazily.
+        n = self._live
+        rate = (
+            self.speed / n if self._ideal else self.speed * self.capacity_model(n) / n
+        )
+        wake = now + (self._heap[0][0] - self._vnow) / rate
+        if wake < self._wake_at:
+            self._wake_token += 1
+            self._wake_at = wake
+            # _post_at directly: wake >= now by construction, token-guarded.
+            kernel._post_at(wake, self._complete_next, (self._wake_token,))
         return job
 
     def _reschedule_completion(self) -> None:
-        if self._completion_event is not None:
-            self._completion_event.cancel()
-            self._completion_event = None
+        """Slow path: recompute the wake-up after aborts or completions."""
+        self._wake_token += 1  # invalidate any pending wake
+        self._wake_at = float("inf")
         # Drop any aborted entries sitting at the top of the heap.
         while self._heap and self._heap[0][2].done.fired:
             heapq.heappop(self._heap)
@@ -216,32 +278,74 @@ class PsCpu(CpuResource):
             return
         rate = self._rate()
         assert rate > 0.0, "live jobs but zero rate"
-        vfinish = self._heap[0][0]
-        delay = max(0.0, (vfinish - self._vnow) / rate)
-        self._completion_event = self.kernel.schedule(delay, self._complete_next)
+        wake = self.kernel.now + max(0.0, (self._heap[0][0] - self._vnow) / rate)
+        self._wake_at = wake
+        self.kernel._post_at(wake, self._complete_next, (self._wake_token,))
 
-    def _complete_next(self) -> None:
-        self._completion_event = None
-        self._advance_accounting()
-        self._advance_virtual()
+    def _complete_next(self, token: int) -> None:
+        if token != self._wake_token:
+            return  # superseded wake-up
+        kernel = self.kernel
+        now = kernel._now  # hot path: skip the property
+        # Inlined _advance_accounting + _advance_virtual (hot path).
+        if now > self._last_update:
+            if self._live > 0:
+                self.busy_integral += now - self._last_update
+            self._last_update = now
+        vnow = self._vnow
+        if now > self._vlast:
+            n = self._live
+            if n:
+                rate = (
+                    self.speed / n
+                    if self._ideal
+                    else self.speed * self.capacity_model(n) / n
+                )
+                vnow += (now - self._vlast) * rate
+                self._vnow = vnow
+        self._vlast = now
         # Complete every job whose virtual finish time has been reached
-        # (simultaneous completions happen with equal demands).
-        eps = 1e-9 * max(1.0, abs(self._vnow))
-        while self._heap and self._heap[0][0] <= self._vnow + eps:
-            _, _, job = heapq.heappop(self._heap)
+        # (simultaneous completions happen with equal demands).  A wake-up
+        # may arrive early (see class docstring); it then completes nothing
+        # and simply reschedules below.
+        heap = self._heap
+        vdue = vnow + 1e-9 * (1.0 if -1.0 < vnow < 1.0 else abs(vnow))
+        while heap and heap[0][0] <= vdue:
+            _, _, job = heapq.heappop(heap)
             if job.done.fired:  # aborted entry
                 continue
-            self._live -= 1
-            job.completed_at = self.kernel.now
-            self.completed += 1
+            weight = job.weight
+            self._live -= weight
+            job.completed_at = now
+            self.completed += weight
             self.service_delivered += job.demand
             job.done.succeed(job)
-        self._reschedule_completion()
+        # Reschedule for the (possibly moved) next completion.
+        while heap and heap[0][2].done.fired:
+            heapq.heappop(heap)
+        if heap:
+            n = self._live
+            rate = (
+                self.speed / n
+                if self._ideal
+                else self.speed * self.capacity_model(n) / n
+            )
+            wake = now + (heap[0][0] - vnow) / rate
+            if wake < now:
+                wake = now
+            self._wake_token += 1
+            self._wake_at = wake
+            kernel._post_at(wake, self._complete_next, (self._wake_token,))
+        else:
+            self._wake_token += 1
+            self._wake_at = float("inf")
 
     def abort_all(self, error: Optional[BaseException] = None) -> int:
         """Fail every in-flight job (e.g. the hosting server crashed).
 
-        Returns the number of jobs aborted.
+        Returns the number of jobs aborted.  Virtual-time state is reset so
+        a reused resource serves a fresh job stream from a clean baseline
+        (no stale ``_vlast``/``_vnow`` from the aborted run).
         """
         self._advance_accounting()
         self._advance_virtual()
@@ -253,9 +357,10 @@ class PsCpu(CpuResource):
                 aborted += 1
         self._heap.clear()
         self._live = 0
-        if self._completion_event is not None:
-            self._completion_event.cancel()
-            self._completion_event = None
+        self._wake_token += 1  # invalidate any pending wake
+        self._vnow = 0.0
+        self._vlast = self.kernel.now
+        self._wake_at = float("inf")
         return aborted
 
 
@@ -290,7 +395,7 @@ class FifoCpu(CpuResource):
         job.submitted_at = self.kernel.now
         if job.demand == 0.0:
             job.completed_at = self.kernel.now
-            self.completed += 1
+            self.completed += job.weight
             job.done.succeed(job)
             return job
         self._queue.append(job)
@@ -314,7 +419,7 @@ class FifoCpu(CpuResource):
         self._completion_event = None
         self._in_service = None
         job.completed_at = self.kernel.now
-        self.completed += 1
+        self.completed += job.weight
         self.service_delivered += job.demand
         job.done.succeed(job)
         self._start_next()

@@ -18,24 +18,14 @@ from typing import Callable, Optional
 from repro.legacy.requests import WebRequest
 from repro.metrics.collector import MetricsCollector
 from repro.simulation.kernel import PeriodicTask, SimKernel
-from repro.simulation.process import Process, sleep, wait
+from repro.simulation.process import Process
 from repro.simulation.rng import RngStreams
 from repro.workload.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.workload.cohort import ClientCohort
 from repro.workload.profiles import WorkloadProfile
 from repro.workload.rubis import MixNavigator, RubisModel
 
 EntryPoint = Callable[[WebRequest], None]
-
-
-class _Client:
-    """One emulated browser session."""
-
-    __slots__ = ("client_id", "active", "process")
-
-    def __init__(self, client_id: int):
-        self.client_id = client_id
-        self.active = True
-        self.process: Optional[Process] = None
 
 
 class ClientEmulator:
@@ -56,6 +46,7 @@ class ClientEmulator:
         navigator_factory: Optional[Callable[[int], object]] = None,
         adjust_period_s: float = 1.0,
         request_timeout_s: Optional[float] = None,
+        cohort: int = 1,
     ) -> None:
         self.kernel = kernel
         self.entry = entry
@@ -73,8 +64,13 @@ class ClientEmulator:
         #: reproduces the paper's patient emulator (Figure 8 shows waits of
         #: hundreds of seconds, so RUBiS clients clearly did not abandon).
         self.request_timeout_s = request_timeout_s
+        if cohort < 1:
+            raise ValueError("cohort must be >= 1")
+        #: aggregate this many identical clients into one batched event
+        #: stream (see :mod:`repro.workload.cohort`); 1 = per-client
+        self.cohort = cohort
         self.abandoned = 0
-        self._clients: list[_Client] = []
+        self._clients: list[ClientCohort] = []
         self._next_client_id = 0
         self._task: Optional[PeriodicTask] = None
         self.requests_issued = 0
@@ -82,7 +78,8 @@ class ClientEmulator:
     # ------------------------------------------------------------------
     @property
     def active_clients(self) -> int:
-        return sum(1 for c in self._clients if c.active)
+        """Simulated browsers currently active (sum of cohort weights)."""
+        return sum(c.weight for c in self._clients if c.active)
 
     def start(self) -> None:
         """Spawn the initial population and the profile follower."""
@@ -102,71 +99,32 @@ class ClientEmulator:
         target = self.profile.clients_at(self.kernel.now)
         current = self.active_clients
         if target > current:
-            for _ in range(target - current):
-                self._spawn_client()
+            deficit = target - current
+            while deficit > 0:
+                # Full-size cohorts plus one remainder cohort, so the
+                # active population tracks the profile exactly on the way
+                # up regardless of the cohort size.
+                weight = min(self.cohort, deficit)
+                self._spawn_client(weight)
+                deficit -= weight
         elif target < current:
-            # Deactivate the most recently started clients first.
+            # Deactivate the most recently started cohorts first.  A
+            # cohort deactivates whole, so the population may undershoot
+            # by at most ``cohort - 1`` until the next adjustment.
             to_stop = current - target
             for client in reversed(self._clients):
-                if to_stop == 0:
+                if to_stop <= 0:
                     break
                 if client.active:
                     client.active = False
-                    to_stop -= 1
+                    to_stop -= client.weight
         self.collector.record_workload(self.kernel.now, self.active_clients)
 
-    def _spawn_client(self) -> None:
+    def _spawn_client(self, weight: int = 1) -> None:
         cid = self._next_client_id
         self._next_client_id += 1
-        client = _Client(cid)
+        client = ClientCohort(cid, weight)
         self._clients.append(client)
         client.process = Process(
-            self.kernel, self._session(client), name=f"client-{cid}"
+            self.kernel, client.session(self), name=f"client-{cid}"
         )
-
-    def _session(self, client: _Client):
-        """The client loop: think, request, wait, repeat."""
-        rng = self.streams.get(f"client-think-{client.client_id}")
-        navigator = self._navigator_factory(client.client_id)
-        while client.active:
-            think = float(rng.exponential(self.cal.think_time_mean_s))
-            yield sleep(think)
-            if not client.active:
-                break
-            if (
-                self.cal.static_fraction > 0.0
-                and rng.random() < self.cal.static_fraction
-            ):
-                request = WebRequest(
-                    self.kernel,
-                    "StaticDocument",
-                    is_static=True,
-                    static_demand=self.model._vary(self.cal.static_demand_s),
-                    client_id=client.client_id,
-                )
-            else:
-                inter = navigator.next_interaction()
-                request = self.model.make_request(inter, client_id=client.client_id)
-            self.requests_issued += 1
-            self.entry(request)
-            timeout_event = None
-            if self.request_timeout_s is not None:
-
-                def abandon(req=request):
-                    self.abandoned += 1
-                    req.fail(self.kernel, "client timeout")
-
-                timeout_event = self.kernel.schedule(
-                    self.request_timeout_s, abandon
-                )
-            try:
-                yield wait(request.completion)
-            except Exception:
-                self.collector.record_failure(self.kernel.now)
-                continue
-            finally:
-                if timeout_event is not None:
-                    timeout_event.cancel()
-            latency = request.latency
-            assert latency is not None
-            self.collector.record_latency(self.kernel.now, latency)

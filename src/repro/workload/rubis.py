@@ -125,14 +125,21 @@ class RubisModel:
         self.cal = calibration
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
-    def _vary(self, mean: float) -> float:
+    def _vary(self, mean: float, weight: int = 1) -> float:
+        """Draw one demand — or, for ``weight > 1``, the *sum* of ``weight``
+        i.i.d. demands in a single draw (Gamma additivity: the sum of ``w``
+        ``Gamma(shape, scale)`` variates is ``Gamma(w * shape, scale)``).
+        At ``weight == 1`` the RNG consumption is unchanged."""
         shape = self.cal.demand_gamma_shape
         if not shape or mean <= 0.0:
-            return mean
-        return float(self.rng.gamma(shape, mean / shape))
+            return mean * weight
+        return float(self.rng.gamma(shape * weight, mean / shape))
 
     def make_request(
-        self, inter: Interaction, client_id: Optional[int] = None
+        self,
+        inter: Interaction,
+        client_id: Optional[int] = None,
+        weight: int = 1,
     ) -> WebRequest:
         cal = self.cal
         db_base = cal.db_write_demand_s if inter.is_write else cal.db_read_demand_s
@@ -140,10 +147,13 @@ class RubisModel:
             self.kernel,
             interaction=inter.name,
             is_write=inter.is_write,
-            app_demand_pre=self._vary(cal.app_demand_pre_s * inter.app_factor),
-            app_demand_post=self._vary(cal.app_demand_post_s * inter.app_factor),
-            db_demand=self._vary(db_base * inter.db_factor),
+            app_demand_pre=self._vary(cal.app_demand_pre_s * inter.app_factor, weight),
+            app_demand_post=self._vary(
+                cal.app_demand_post_s * inter.app_factor, weight
+            ),
+            db_demand=self._vary(db_base * inter.db_factor, weight),
             client_id=client_id,
+            weight=weight,
         )
 
 

@@ -155,3 +155,42 @@ class TestCommands:
         labels = {o["candidate"] for o in outcomes}
         assert any(label.startswith("app") for label in labels)
         assert all("cost" in o for o in outcomes if o["feasible"])
+
+
+class TestScalingAndBenchFlags:
+    def test_ramp_cohort_scales_profile(self):
+        args = build_parser().parse_args(
+            ["ramp", "--peak", "100000", "--cohort", "200"]
+        )
+        assert args.cohort == 200
+        assert args.hardware_scale is None  # defaults to the cohort size
+
+    def test_steady_cohort_flags(self):
+        args = build_parser().parse_args(
+            ["steady", "--cohort", "50", "--hardware-scale", "25"]
+        )
+        assert args.cohort == 50
+        assert args.hardware_scale == 25.0
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.command == "bench"
+        assert args.seeds == 3
+        assert args.tolerance == 0.25
+        assert not args.micro_only
+
+    def test_bench_check_mode(self):
+        args = build_parser().parse_args(
+            ["bench", "--check", "BENCH_engine.json", "--tolerance", "0.4"]
+        )
+        assert args.check == "BENCH_engine.json"
+        assert args.tolerance == 0.4
+
+    def test_bench_micro_only_runs(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--micro-only", "--rounds", "1", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert "kernel_10k_events" in report["micro"]
+        assert "ramp" not in report

@@ -261,3 +261,106 @@ class TestPeriodicTask:
         task = kernel.every(1.0, lambda: None)
         kernel.run(until=3.0)
         assert task.fired == 3
+
+
+class TestFastPaths:
+    """The allocation-avoiding hot paths: pooled posts, same-timestamp
+    buckets, and the event freelist."""
+
+    def test_post_orders_with_scheduled_events(self, kernel):
+        """Posts and schedules at the same timestamp run in submission
+        order (global FIFO, regardless of which path enqueued them)."""
+        out = []
+        kernel.schedule_at(1.0, out.append, "a")
+        kernel.post_at(1.0, out.append, "b")
+        kernel.schedule_at(1.0, out.append, "c")
+        kernel.post_at(1.0, out.append, "d")
+        kernel.run()
+        assert out == ["a", "b", "c", "d"]
+
+    def test_post_in_past_rejected(self, kernel):
+        from repro.simulation.kernel import SimulationError
+
+        kernel.schedule_at(5.0, lambda: None)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.post_at(1.0, lambda: None)
+
+    def test_post_counts_as_pending_and_processed(self, kernel):
+        kernel.post_in(1.0, lambda: None)
+        kernel.post_in(1.0, lambda: None)
+        kernel.schedule(1.0, lambda: None)
+        assert kernel.pending == 3
+        kernel.run()
+        assert kernel.pending == 0
+        assert kernel.events_processed == 3
+
+    def test_freelist_recycles_posted_events(self, kernel):
+        """Pooled events return to the freelist after firing, so a long
+        chain of posts reuses a bounded set of Event objects."""
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 500:
+                kernel.post_in(0.1, tick)
+
+        kernel.post_in(0.1, tick)
+        kernel.run()
+        assert count[0] == 500
+        assert len(kernel._freelist) >= 1
+        assert len(kernel._freelist) <= 500
+
+    def test_bucket_fifo_across_many_ties(self, kernel):
+        """Hundreds of events on one timestamp drain in submission order
+        through the bucket path."""
+        out = []
+        for i in range(300):
+            kernel.schedule_at(2.0, out.append, i)
+        kernel.run()
+        assert out == list(range(300))
+
+    def test_step_through_bucketed_events(self, kernel):
+        """step() honours bucket order one event at a time."""
+        out = []
+        for i in range(5):
+            kernel.schedule_at(1.0, out.append, i)
+        for expect in range(5):
+            assert kernel.step()
+            assert out == list(range(expect + 1))
+        assert not kernel.step()
+
+    def test_cancel_inside_bucket(self, kernel):
+        out = []
+        kernel.schedule_at(1.0, out.append, "a")
+        victim = kernel.schedule_at(1.0, out.append, "b")
+        kernel.schedule_at(1.0, out.append, "c")
+        victim.cancel()
+        kernel.run()
+        assert out == ["a", "c"]
+
+    def test_run_until_between_bucket_and_later_events(self, kernel):
+        out = []
+        for i in range(3):
+            kernel.schedule_at(1.0, out.append, i)
+        kernel.schedule_at(2.0, out.append, "late")
+        kernel.run(until=1.5)
+        assert out == [0, 1, 2]
+        kernel.run(until=3.0)
+        assert out == [0, 1, 2, "late"]
+
+
+class TestPeriodicDrift:
+    def test_absolute_rescheduling_does_not_drift(self, kernel):
+        """Fire times are first + k*period exactly; repeated `now + period`
+        addition would accumulate float error over thousands of ticks."""
+        out = []
+        kernel.every(0.1, lambda: out.append(kernel.now))
+        kernel.run(until=1000.05)
+        assert len(out) == 10_000
+        # Exact, not approx: the k-th tick is literally 0.1 + k * 0.1.
+        assert out[0] == 0.1
+        assert out[4999] == 0.1 + 4999 * 0.1
+        assert out[-1] == 0.1 + 9999 * 0.1
+        worst = max(abs(t - 0.1 * (k + 1)) for k, t in enumerate(out))
+        assert worst < 1e-9

@@ -251,3 +251,98 @@ def test_fifo_completions_are_sequential(demands, gaps):
     done = [j.completed_at for j in jobs]
     assert all(a <= b + 1e-9 for a, b in zip(done, done[1:]))
     assert cpu.service_delivered == pytest.approx(sum(demands[: len(gaps)]))
+
+
+class TestAbortAllReuse:
+    """abort_all must leave the resource in its initial state so a
+    replica's CPU can be reused after a crash/stop without ghost wakes or
+    stale virtual time."""
+
+    def test_abort_fails_inflight_jobs(self, kernel):
+        cpu = PsCpu(kernel)
+        jobs = [CpuJob(kernel, 5.0) for _ in range(3)]
+        for j in jobs:
+            cpu.submit(j)
+        kernel.schedule(1.0, cpu.abort_all, RuntimeError("crash"))
+        kernel.run()
+        assert cpu.completed == 0
+        for j in jobs:
+            assert isinstance(j.done.error, RuntimeError)
+
+    def test_resource_reusable_after_abort(self, kernel):
+        """Fresh jobs after an abort see exact PS timing — the virtual
+        clock and wake bookkeeping were reset, not left mid-flight."""
+        cpu = PsCpu(kernel)
+        for _ in range(4):
+            cpu.submit(CpuJob(kernel, 10.0))
+        kernel.schedule(1.0, cpu.abort_all, RuntimeError("crash"))
+        kernel.run()
+
+        start = kernel.now
+        fresh = [CpuJob(kernel, 2.0), CpuJob(kernel, 2.0)]
+        for j in fresh:
+            cpu.submit(j)
+        kernel.run()
+        # Two equal jobs sharing one unit-speed CPU: both finish in 4 s.
+        for j in fresh:
+            assert j.completed_at == pytest.approx(start + 4.0)
+        assert cpu.completed == 2
+
+    def test_stale_wake_after_abort_is_inert(self, kernel):
+        """The wake posted before the abort still fires (posts cannot be
+        cancelled) but must complete nothing."""
+        cpu = PsCpu(kernel)
+        cpu.submit(CpuJob(kernel, 2.0))
+        kernel.schedule(0.5, cpu.abort_all, RuntimeError("crash"))
+        kernel.run()
+        assert cpu.completed == 0
+        assert kernel.pending == 0
+
+    def test_utilization_window_reset(self, kernel):
+        cpu = PsCpu(kernel)
+        cpu.submit(CpuJob(kernel, 3.0))
+        kernel.schedule(1.0, cpu.abort_all, RuntimeError("crash"))
+        kernel.run()
+        assert cpu._vnow == 0.0
+        assert cpu._live == 0
+
+
+class TestWeightedJobs:
+    """A weight-K CpuJob stands for K concurrent identical requests whose
+    summed demand travels on one job (the cohort fast path)."""
+
+    def test_weight_must_be_positive(self, kernel):
+        with pytest.raises(ValueError):
+            CpuJob(kernel, 1.0, weight=0)
+
+    def test_weighted_job_times_like_constituents(self, kernel):
+        """One weight-2 job with summed demand 2.0 completes when two
+        interleaved weight-1 jobs of demand 1.0 would: at t=2."""
+        cpu = PsCpu(kernel)
+        job = CpuJob(kernel, 2.0, weight=2)
+        cpu.submit(job)
+        kernel.run()
+        assert job.completed_at == pytest.approx(2.0)
+        assert cpu.completed == 2
+
+    def test_weighted_job_contends_like_constituents(self, kernel):
+        """Against a weight-1 competitor, a weight-2 job claims two PS
+        shares: the competitor sees a 3-way split, not a 2-way one."""
+        cpu = PsCpu(kernel)
+        heavy = CpuJob(kernel, 2.0, weight=2)
+        light = CpuJob(kernel, 1.0)
+        cpu.submit(heavy)
+        cpu.submit(light)
+        kernel.run()
+        # Identical per-constituent demand (1.0 each over 3 shares): all
+        # three constituents finish together at t=3.
+        assert light.completed_at == pytest.approx(3.0)
+        assert heavy.completed_at == pytest.approx(3.0)
+        assert cpu.completed == 3
+
+    def test_fifo_counts_constituents(self, kernel):
+        cpu = FifoCpu(kernel)
+        job = CpuJob(kernel, 1.0, weight=5)
+        cpu.submit(job)
+        kernel.run()
+        assert cpu.completed == 5
