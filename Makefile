@@ -1,6 +1,6 @@
 # Convenience targets for the Jade reproduction.
 
-.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check figures examples trace-demo whatif-demo clean
+.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check bench-whatif-check figures examples trace-demo whatif-demo sweep-demo clean
 
 install:
 	pip install -e .
@@ -43,6 +43,19 @@ bench-engine:
 # the committed report.
 bench-engine-check:
 	python -m repro bench --check BENCH_engine.json --tolerance 0.25
+
+# Perf gate over the what-if work: validate the committed whatif section
+# (byte-identity, >=3x memoized decision speedup), then run a 2-candidate
+# parallel decision and a 2x2 sweep shard live.
+bench-whatif-check:
+	python -m repro bench --check-whatif BENCH_engine.json
+
+# A small grid through the parallel cached runner (re-run it: the second
+# pass resolves from the cache).
+sweep-demo:
+	python -m repro sweep --seeds 1,2 --scales 0.1 \
+		--policies static,managed --csv /tmp/repro-sweep.csv
+	@echo "sweep rows: /tmp/repro-sweep.csv"
 
 # Regenerate every paper figure/table series into benchmarks/results/
 figures: bench

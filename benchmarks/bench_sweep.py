@@ -1,0 +1,64 @@
+"""Decision-latency and sweep-throughput benchmarks (PR 4 perf work).
+
+Not a paper figure: these time the two fan-out paths this repo's planning
+layer runs on —
+
+* a **what-if decision**: one 8-candidate proactive evaluation, serial
+  (the pre-optimization path) vs parallel against a cold cache vs
+  memoized against the warm cache, asserting the candidate reports stay
+  byte-identical and the winner unchanged;
+* a **sweep shard**: a small ``repro sweep`` grid through the parallel
+  cached runner, cold vs warm (cache-resolved), in rows/s.
+
+The same measurements are recorded in ``BENCH_engine.json`` by
+``repro bench`` and gated in CI by ``make bench-whatif-check``.
+"""
+
+from repro.runner.bench import run_sweep_bench, run_whatif_bench
+
+from benchmarks._shared import emit
+
+
+def bench_whatif_decision_latency(benchmark):
+    """One 8-candidate decision: serial vs parallel-cold vs memoized."""
+    result = benchmark.pedantic(
+        lambda: run_whatif_bench(candidates=8), rounds=1, iterations=1
+    )
+
+    assert result["byte_identical"], "parallel/memoized report drifted"
+    assert result["same_winner"], "parallel/memoized winner drifted"
+    lines = [
+        f"What-if decision latency ({result['candidates']} candidates, "
+        f"{result['workers']} workers)",
+        "",
+        f"{'path':<16}{'wall (s)':>10}{'speedup':>9}",
+        f"{'serial':<16}{result['serial_s']:>10.2f}{1.0:>9.2f}",
+        f"{'parallel cold':<16}{result['parallel_cold_s']:>10.2f}"
+        f"{result['speedup_parallel']:>9.2f}",
+        f"{'memoized':<16}{result['memoized_s']:>10.3f}"
+        f"{result['speedup_memoized']:>9.1f}",
+        "",
+        f"winner: {result['winner']} (identical on every path); "
+        f"memoized pass: {result['memoized_cache_hits']} cache hits, "
+        f"{result['memoized_branches_run']} branches simulated",
+    ]
+    emit("bench_sweep_whatif", "\n".join(lines))
+
+
+def bench_sweep_throughput(benchmark):
+    """A 2x2 sweep shard, cold vs warm (cache-resolved)."""
+    result = benchmark.pedantic(run_sweep_bench, rounds=1, iterations=1)
+
+    assert result["rows_identical"], "warm sweep rows drifted from cold"
+    cold, warm = result["cold"], result["warm"]
+    lines = [
+        f"Sweep throughput ({result['spec']['cells']} cells: "
+        f"{'x'.join(str(len(result['spec'][k])) for k in ('policies', 'seeds', 'scales', 'cohorts'))})",
+        "",
+        f"{'pass':<8}{'wall (s)':>10}{'rows/s':>9}{'hits':>6}{'misses':>8}",
+        f"{'cold':<8}{cold['elapsed_s']:>10.2f}{cold['rows_per_s']:>9.1f}"
+        f"{cold['cache']['hits']:>6}{cold['cache']['misses']:>8}",
+        f"{'warm':<8}{warm['elapsed_s']:>10.3f}{warm['rows_per_s']:>9.0f}"
+        f"{warm['cache']['hits']:>6}{warm['cache']['misses']:>8}",
+    ]
+    emit("bench_sweep_throughput", "\n".join(lines))

@@ -33,14 +33,18 @@ from repro.capacity.proactive import ProactiveConfig, ProactiveManager
 from repro.capacity.snapshot import SystemSnapshot
 from repro.capacity.whatif import (
     BranchOutcome,
+    BranchSpec,
     Candidate,
     WhatIfEngine,
     default_candidates,
+    evaluate_branch,
     run_to_fork,
+    warm_fingerprint,
 )
 
 __all__ = [
     "BranchOutcome",
+    "BranchSpec",
     "Candidate",
     "CostBreakdown",
     "CostModel",
@@ -53,7 +57,9 @@ __all__ = [
     "SystemSnapshot",
     "WhatIfEngine",
     "default_candidates",
+    "evaluate_branch",
     "make_forecaster",
     "run_to_fork",
     "slo_violation_time",
+    "warm_fingerprint",
 ]

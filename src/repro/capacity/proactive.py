@@ -71,6 +71,15 @@ class ProactiveConfig:
     max_candidate_delta: int = 1
     #: cost model scoring candidate branches (None = CostModel defaults)
     cost_model: Optional[CostModel] = None
+    #: fan candidate branches out over the process pool (off by default:
+    #: a proactive manager may itself live inside a pooled experiment)
+    whatif_parallel: bool = False
+    whatif_workers: Optional[int] = None
+    #: memoize warmed-branch outcomes in the shared ResultCache so a
+    #: repeated decision under unchanged conditions replays nothing
+    whatif_cache: bool = False
+    #: dominance pruning: stop branches proven worse than the incumbent
+    whatif_prune: bool = False
 
 
 class ProactiveManager:
@@ -104,12 +113,20 @@ class ProactiveManager:
         self.config = config or ProactiveConfig()
         cfg = self.config
         self.cost_model = cost_model or cfg.cost_model or CostModel()
-        self.engine = engine or WhatIfEngine(
-            horizon_s=cfg.horizon_s,
-            warmup_s=cfg.branch_warmup_s,
-            step_s=cfg.forecast_step_s,
-            cost_model=self.cost_model,
-        )
+        if engine is None:
+            from repro.runner.cache import ResultCache
+
+            engine = WhatIfEngine(
+                horizon_s=cfg.horizon_s,
+                warmup_s=cfg.branch_warmup_s,
+                step_s=cfg.forecast_step_s,
+                cost_model=self.cost_model,
+                parallel=cfg.whatif_parallel,
+                max_workers=cfg.whatif_workers,
+                cache=ResultCache() if cfg.whatif_cache else None,
+                prune=cfg.whatif_prune,
+            )
+        self.engine = engine
         self.forecaster: Forecaster = make_forecaster(
             cfg.forecaster, **cfg.forecaster_kwargs
         )

@@ -151,6 +151,82 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="time compression of the scenario (0.5 = half duration)",
     )
+    whatif.add_argument(
+        "--serial", action="store_true",
+        help="evaluate candidate branches in-process instead of fanning "
+        "out over the process pool",
+    )
+    whatif.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the warmed-branch result cache (every branch computes)",
+    )
+    whatif.add_argument(
+        "--prune", action="store_true",
+        help="dominance pruning: stop branches that provably cannot beat "
+        "the incumbent candidate (never changes the winner)",
+    )
+    whatif.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool width for the candidate fan-out",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="grid fan-out: seeds x scales x replica policies x cohort "
+        "sizes through the parallel cached runner",
+    )
+    sweep.add_argument(
+        "--seeds", default="1,2", metavar="LIST",
+        help="comma-separated seeds (default 1,2)",
+    )
+    sweep.add_argument(
+        "--scales", default="0.1", metavar="LIST",
+        help="comma-separated time-compression factors (default 0.1)",
+    )
+    sweep.add_argument(
+        "--policies", default="static,managed", metavar="LIST",
+        help="comma-separated replica policies out of static, managed, "
+        "proactive (default static,managed)",
+    )
+    sweep.add_argument(
+        "--cohorts", default="1", metavar="LIST",
+        help="comma-separated client cohort sizes (default 1)",
+    )
+    sweep.add_argument(
+        "--peak", type=int, default=500, help="ramp peak client count"
+    )
+    sweep.add_argument(
+        "--csv", metavar="FILE", default=None,
+        help="write one row per grid cell as CSV",
+    )
+    sweep.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the full sweep result (spec + rows + cache) as JSON",
+    )
+    sweep.add_argument(
+        "--serial", action="store_true", help="run cells in-process"
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool width for the cell fan-out",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clean the on-disk result cache"
+    )
+    cache.add_argument(
+        "action", choices=("stats", "clear", "prune"),
+        help="stats: entry count and footprint; clear: delete everything; "
+        "prune: evict least-recently-used entries down to the size cap",
+    )
+    cache.add_argument(
+        "--dir", default=None, metavar="PATH",
+        help="cache directory (default $REPRO_CACHE_DIR or "
+        "~/.cache/repro-jade)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -189,7 +265,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="bypass the result cache"
     )
     bench.add_argument(
-        "--micro-only", action="store_true", help="skip the ramp replication"
+        "--micro-only", action="store_true",
+        help="skip the ramp replication and the what-if/sweep sections",
+    )
+    bench.add_argument(
+        "--check-whatif", metavar="FILE", default=None,
+        help="perf-smoke mode: validate the committed whatif section and "
+        "run a 2-candidate parallel decision + 2x2 sweep shard live; "
+        "exit 1 on failure",
+    )
+    bench.add_argument(
+        "--whatif-candidates", type=int, default=8, metavar="N",
+        help="candidate count for the what-if decision benchmark (default 8)",
     )
 
     trace = sub.add_parser(
@@ -355,16 +442,28 @@ def cmd_whatif(args: argparse.Namespace) -> int:
         f"peak {peak:.0f} over {args.horizon:.0f}s"
     )
 
+    from repro.runner.cache import ResultCache
+
     engine = WhatIfEngine(
         horizon_s=args.horizon,
         warmup_s=args.warmup,
         cost_model=CostModel(slo_latency_s=args.slo),
+        parallel=not args.serial,
+        max_workers=args.workers,
+        cache=None if args.no_cache else ResultCache(),
+        prune=args.prune,
     )
     candidates = default_candidates(snapshot, args.max_delta)
     print(f"Evaluating {len(candidates)} candidates "
           f"({args.warmup:.0f}s warmup + {args.horizon:.0f}s horizon each)...")
     outcomes = engine.evaluate(snapshot, forecast, candidates)
     best = engine.best(outcomes)
+    if engine.cache is not None or engine.branches_pruned:
+        print(
+            f"  {engine.branches_run} branches run, "
+            f"{engine.cache_hits} cache hits, "
+            f"{engine.branches_pruned} pruned"
+        )
 
     print(f"\n{'candidate':<12s} {'p95 (ms)':>9s} {'SLO viol':>9s} "
           f"{'node-h':>7s} {'cost':>8s}")
@@ -420,13 +519,108 @@ def cmd_recovery(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.runner.bench import check_against, run_bench
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runner import (
+        ExperimentRunner,
+        ResultCache,
+        SweepSpec,
+        run_sweep,
+        write_sweep_csv,
+        write_sweep_json,
+    )
 
-    if args.check:
-        ok, lines = check_against(
-            args.check, tolerance=args.tolerance, rounds=args.rounds
+    def parse_list(raw: str, conv):
+        return tuple(conv(item) for item in raw.split(",") if item.strip())
+
+    spec = SweepSpec(
+        seeds=parse_list(args.seeds, int),
+        scales=parse_list(args.scales, float),
+        policies=parse_list(args.policies, str),
+        cohorts=parse_list(args.cohorts, int),
+        peak=args.peak,
+    )
+    cells = spec.grid()
+    print(
+        f"Sweeping {len(cells)} cells: {len(spec.policies)} policies x "
+        f"{len(spec.seeds)} seeds x {len(spec.scales)} scales x "
+        f"{len(spec.cohorts)} cohorts..."
+    )
+    runner = ExperimentRunner(
+        max_workers=args.workers,
+        cache=None if args.no_cache else ResultCache(),
+        parallel=not args.serial,
+    )
+    result = run_sweep(spec, runner)
+    print(
+        f"{len(result.rows)} rows in {result.elapsed_s:.1f}s "
+        f"({len(result.rows) / max(result.elapsed_s, 1e-9):.1f} rows/s)"
+    )
+    if result.cache is not None:
+        print(
+            f"  cache: {result.cache['hits']} hits / "
+            f"{result.cache['misses']} misses ({result.cache['dir']})"
         )
+    header = f"{'cell':<26s} {'thr (rps)':>9s} {'p95 (ms)':>9s} {'repl':>9s}"
+    print("\n" + header)
+    for row in result.rows:
+        print(
+            f"{row['label']:<26s} {row['throughput_rps']:9.2f} "
+            f"{row['latency_p95_ms']:9.1f} "
+            f"{'x' + str(int(row['app_replicas_max'])) + '/' + str(int(row['db_replicas_max'])):>9s}"
+        )
+    if args.csv:
+        write_sweep_csv(result.rows, args.csv)
+        print(f"\nSweep rows written to {args.csv}")
+    if args.json:
+        write_sweep_json(result, args.json)
+        print(f"Sweep result written to {args.json}")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.runner.cache import ResultCache
+
+    cache = ResultCache(Path(args.dir) if args.dir else None)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache dir : {stats['dir']}")
+        print(f"entries   : {stats['entries']}")
+        print(
+            f"size      : {stats['bytes'] / 1024 / 1024:.1f} MiB "
+            f"(cap {stats['max_bytes'] / 1024 / 1024:.0f} MiB)"
+            if stats["max_bytes"]
+            else f"size      : {stats['bytes'] / 1024 / 1024:.1f} MiB (no cap)"
+        )
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
+    else:  # prune
+        evicted = cache.prune()
+        print(
+            f"evicted {len(evicted)} least-recently-used entries from "
+            f"{cache.root}"
+        )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.runner.bench import check_against, check_whatif, run_bench
+
+    if args.check or args.check_whatif:
+        ok = True
+        lines: list[str] = []
+        if args.check:
+            micro_ok, micro_lines = check_against(
+                args.check, tolerance=args.tolerance, rounds=args.rounds
+            )
+            ok = ok and micro_ok
+            lines += micro_lines
+        if args.check_whatif:
+            whatif_ok, whatif_lines = check_whatif(args.check_whatif)
+            ok = ok and whatif_ok
+            lines += whatif_lines
         print("\n".join(lines))
         print("perf-smoke:", "PASS" if ok else "FAIL")
         return 0 if ok else 1
@@ -439,6 +633,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         parallel=not args.serial,
         use_cache=not args.no_cache,
         skip_ramp=args.micro_only,
+        skip_whatif=args.micro_only,
+        whatif_candidates=args.whatif_candidates,
     )
     micro = report["micro"]
     print("Micro scenarios (best of {}):".format(args.rounds))
@@ -472,7 +668,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
         if "cache" in ramp:
             c = ramp["cache"]
-            print(f"  cache: {c['hits']} hits / {c['misses']} misses ({c['dir']})")
+            print(
+                f"  cache: cold {c['cold']['hits']} hits / "
+                f"{c['cold']['misses']} misses, warm {c['warm']['hits']} hits "
+                f"/ {c['warm']['misses']} misses ({c['dir']})"
+            )
+    if "whatif" in report:
+        w = report["whatif"]
+        print(
+            f"\nWhat-if {w['candidates']}-candidate decision: "
+            f"serial {w['serial_s']:.2f}s, parallel cold "
+            f"{w['parallel_cold_s']:.2f}s ({w['speedup_parallel']:.2f}x), "
+            f"memoized {w['memoized_s']:.3f}s ({w['speedup_memoized']:.1f}x); "
+            f"byte-identical: {w['byte_identical']}, winner {w['winner']}"
+        )
+    if "sweep" in report:
+        s = report["sweep"]
+        print(
+            f"Sweep {s['spec']['cells']} cells: cold "
+            f"{s['cold']['rows_per_s']:.1f} rows/s, warm "
+            f"{s['warm']['rows_per_s']:.0f} rows/s (cache-resolved)"
+        )
     if args.out:
         print(f"\nReport written to {args.out}")
     return 0
@@ -495,6 +711,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         "steady": cmd_steady,
         "recovery": cmd_recovery,
         "whatif": cmd_whatif,
+        "sweep": cmd_sweep,
+        "cache": cmd_cache,
         "bench": cmd_bench,
         "trace": cmd_trace,
     }

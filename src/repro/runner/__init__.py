@@ -11,24 +11,48 @@ package provides the machinery to run them efficiently:
 * :mod:`repro.runner.fingerprint` — a content hash over the simulator's
   source, so cached results invalidate when the code changes;
 * :mod:`repro.runner.cache` — a content-addressed on-disk result cache
-  keyed by (experiment description, code fingerprint);
-* :mod:`repro.runner.parallel` — :class:`ExperimentRunner`, which fans a
-  batch of configs out over a process pool with cache short-circuiting;
+  keyed by (payload description, code fingerprint), size-capped with LRU
+  eviction (``repro cache {stats,clear,prune}``);
+* :mod:`repro.runner.parallel` — :func:`fanout_map`, the generic
+  order-preserving process-pool map, and :class:`ExperimentRunner`, which
+  fans a batch of configs out over it with cache short-circuiting;
+* :mod:`repro.runner.sweep` — ``repro sweep``: the grid fan-out
+  (seeds × scales × policies × cohorts) with CSV/JSON output;
 * :mod:`repro.runner.bench` — the ``repro bench`` engine benchmark:
-  micro-benchmarks plus a multi-seed ramp replication, written to
+  micro-benchmarks, a multi-seed ramp replication, the what-if
+  decision-latency benchmark and a sweep-throughput probe, written to
   ``BENCH_engine.json`` with confidence intervals.
 """
 
 from repro.runner.cache import ResultCache, describe_config
 from repro.runner.fingerprint import code_fingerprint
-from repro.runner.parallel import ExperimentRunner, execute_config
+from repro.runner.parallel import (
+    ExperimentRunner,
+    execute_config,
+    fanout_map,
+)
 from repro.runner.results import CompletedRun
+from repro.runner.sweep import (
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+    write_sweep_csv,
+    write_sweep_json,
+)
 
 __all__ = [
     "CompletedRun",
     "ExperimentRunner",
     "ResultCache",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
     "code_fingerprint",
     "describe_config",
     "execute_config",
+    "fanout_map",
+    "run_sweep",
+    "write_sweep_csv",
+    "write_sweep_json",
 ]

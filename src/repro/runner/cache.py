@@ -2,19 +2,25 @@
 
 A cache entry is addressed by ``sha256(description ++ code fingerprint)``
 where *description* is a canonical, human-readable rendering of the
-:class:`ExperimentConfig` (every field, recursively, including the workload
-profile and calibration).  Two configs with equal descriptions are the same
-experiment; any change to the simulator's source changes the fingerprint
-and orphans every entry (see :mod:`repro.runner.fingerprint`).
+payload's identity (for experiments: every :class:`ExperimentConfig`
+field, recursively, including the workload profile and calibration; for
+what-if branches: the full :class:`~repro.capacity.whatif.BranchSpec`).
+Two equal descriptions are the same computation; any change to the
+simulator's source changes the fingerprint and orphans every entry (see
+:mod:`repro.runner.fingerprint`).
 
 Layout (under ``$REPRO_CACHE_DIR``, default ``~/.cache/repro-jade``)::
 
-    <key>.pkl    pickled CompletedRun (the payload)
+    <key>.pkl    pickled payload (CompletedRun, BranchOutcome, ...)
     <key>.json   metadata sidecar: description, fingerprint, wall time,
                  summary — greppable without unpickling
 
 Entries are immutable; invalidation is by key change only, so ``rm -r``
-on the directory is always safe.
+on the directory is always safe.  The cache is size-capped: every store
+prunes least-recently-used entries (payload mtime, refreshed on every
+hit) until the directory fits ``max_bytes`` (default 2 GiB, override via
+``$REPRO_CACHE_MAX_BYTES``; ``0`` disables pruning).  ``repro cache
+{stats,clear,prune}`` exposes the same maintenance from the CLI.
 """
 
 from __future__ import annotations
@@ -29,9 +35,9 @@ from pathlib import Path
 from typing import Optional
 
 from repro.runner.fingerprint import code_fingerprint
-from repro.runner.results import CompletedRun
 
 _DEFAULT_DIR = "~/.cache/repro-jade"
+_DEFAULT_MAX_BYTES = 2 * 1024**3  # 2 GiB
 
 
 def _canon(value):
@@ -77,15 +83,26 @@ def describe_config(config) -> str:
     return json.dumps(_canon(config), sort_keys=True, separators=(",", ":"))
 
 
-class ResultCache:
-    """Load/store :class:`CompletedRun` payloads by experiment identity."""
+def default_max_bytes() -> int:
+    """Size cap from ``$REPRO_CACHE_MAX_BYTES`` (0 = unbounded)."""
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if env:
+        return max(0, int(env))
+    return _DEFAULT_MAX_BYTES
 
-    def __init__(self, root: Optional[Path] = None) -> None:
+
+class ResultCache:
+    """Load/store picklable result payloads by computation identity."""
+
+    def __init__(
+        self, root: Optional[Path] = None, max_bytes: Optional[int] = None
+    ) -> None:
         if root is None:
             root = Path(
                 os.environ.get("REPRO_CACHE_DIR", _DEFAULT_DIR)
             ).expanduser()
         self.root = Path(root)
+        self.max_bytes = default_max_bytes() if max_bytes is None else max_bytes
         self.hits = 0
         self.misses = 0
 
@@ -103,7 +120,7 @@ class ResultCache:
         return self.root / f"{key}.pkl", self.root / f"{key}.json"
 
     # ------------------------------------------------------------------
-    def load(self, key: str) -> Optional[CompletedRun]:
+    def load(self, key: str):
         payload, _ = self._paths(key)
         try:
             with open(payload, "rb") as fh:
@@ -112,9 +129,13 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:  # refresh LRU recency for the pruner
+            os.utime(payload)
+        except OSError:
+            pass
         return run
 
-    def store(self, key: str, run: CompletedRun, config=None) -> Path:
+    def store(self, key: str, run, config=None) -> Path:
         """Persist atomically (write-rename, so readers never see a torn
         entry); returns the payload path."""
         self.root.mkdir(parents=True, exist_ok=True)
@@ -134,17 +155,93 @@ class ResultCache:
         meta = {
             "key": key,
             "code_fingerprint": code_fingerprint(),
-            "wall_time_s": run.wall_time_s,
-            "events_processed": run.events_processed,
-            "summary": run.summary(),
+            "payload_type": type(run).__name__,
         }
+        for attr in ("wall_time_s", "events_processed"):
+            value = getattr(run, attr, None)
+            if value is not None:
+                meta[attr] = value
+        describe = getattr(run, "summary", None) or getattr(run, "to_record", None)
+        if callable(describe):
+            meta["summary"] = describe()
         if config is not None:
             meta["config"] = json.loads(describe_config(config))
         sidecar.write_text(json.dumps(meta, indent=2, default=float) + "\n")
+        if self.max_bytes:
+            self.prune()
         return payload
 
     # ------------------------------------------------------------------
-    def get_or_none(self, config) -> Optional[CompletedRun]:
+    # Hygiene: size accounting, LRU pruning, clearing
+    # ------------------------------------------------------------------
+    def _entries(self) -> list[tuple[float, int, Path, Path]]:
+        """(payload mtime, total bytes, payload, sidecar) per entry."""
+        entries = []
+        try:
+            payloads = sorted(self.root.glob("*.pkl"))
+        except OSError:
+            return []
+        for payload in payloads:
+            sidecar = payload.with_suffix(".json")
+            try:
+                stat = payload.stat()
+            except OSError:
+                continue
+            size = stat.st_size
+            try:
+                size += sidecar.stat().st_size
+            except OSError:
+                pass
+            entries.append((stat.st_mtime, size, payload, sidecar))
+        return entries
+
+    def stats(self) -> dict:
+        """Entry count and on-disk footprint (plus this process's
+        hit/miss counters)."""
+        entries = self._entries()
+        return {
+            "dir": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _, _ in entries),
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def prune(self, max_bytes: Optional[int] = None) -> list[str]:
+        """Evict least-recently-used entries until the cache fits the
+        size cap; returns the evicted keys (oldest first)."""
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if not cap:
+            return []
+        entries = sorted(self._entries())  # oldest mtime first
+        total = sum(size for _, size, _, _ in entries)
+        evicted = []
+        for _, size, payload, sidecar in entries:
+            if total <= cap:
+                break
+            for path in (payload, sidecar):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            total -= size
+            evicted.append(payload.stem)
+        return evicted
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        entries = self._entries()
+        for _, _, payload, sidecar in entries:
+            for path in (payload, sidecar):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return len(entries)
+
+    # ------------------------------------------------------------------
+    def get_or_none(self, config):
         return self.load(self.key_for(config))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,4 +1,17 @@
-"""Process-parallel experiment execution with cache short-circuiting.
+"""Process-parallel fan-out with cache short-circuiting.
+
+Two layers live here:
+
+* :func:`fanout_map` — a generic, order-preserving process-pool map used
+  by everything in the repo that fans independent work out over cores:
+  the experiment runner below, the what-if engine's candidate branches
+  (:mod:`repro.capacity.whatif`), and the ``repro sweep`` grid.  It
+  degrades to an in-process loop when parallelism cannot help (one item,
+  one worker, ``REPRO_RUNNER_SERIAL=1``) or would deadlock (already
+  inside a pool worker), so callers never special-case.
+* :class:`ExperimentRunner` — batch execution of
+  :class:`~repro.jade.system.ExperimentConfig` through the
+  :class:`~repro.runner.cache.ResultCache`.
 
 Experiments are embarrassingly parallel — each (config, seed) builds its
 own kernel and RNG streams — so a batch fans out over a
@@ -17,10 +30,64 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence, TypeVar
 
 from repro.runner.cache import ResultCache
 from repro.runner.results import CompletedRun
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: environment marker set in pool workers so nested fan-outs (e.g. a
+#: proactive manager running inside a pooled experiment) stay in-process
+#: instead of forking a pool-of-pools
+_POOL_MARKER = "REPRO_POOL_WORKER"
+
+
+def default_workers() -> int:
+    """Pool width when the caller does not choose: bounded by cores."""
+    return min(8, os.cpu_count() or 1)
+
+
+def in_pool_worker() -> bool:
+    """True inside a :func:`fanout_map` worker process."""
+    return bool(os.environ.get(_POOL_MARKER))
+
+
+def fanout_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+) -> list[R]:
+    """Order-preserving map over a process pool.
+
+    ``fn`` must be a module-level callable and ``items`` picklable.  The
+    result list matches ``items`` order exactly, so a parallel fan-out is
+    a drop-in replacement for ``[fn(it) for it in items]`` — callers rely
+    on this for byte-identical parallel-vs-serial reports.
+
+    Runs in-process (same results, no pool) when ``parallel`` is off,
+    fewer than two items or workers are available, ``REPRO_RUNNER_SERIAL``
+    is set, or the caller is itself a pool worker.
+    """
+    items = list(items)
+    if max_workers is None:
+        max_workers = default_workers()
+    workers = min(max_workers, len(items))
+    if (
+        not parallel
+        or workers < 2
+        or os.environ.get("REPRO_RUNNER_SERIAL")
+        or in_pool_worker()
+    ):
+        return [fn(item) for item in items]
+    os.environ[_POOL_MARKER] = "1"  # inherited by the forked workers
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    finally:
+        os.environ.pop(_POOL_MARKER, None)
 
 
 def execute_config(config) -> CompletedRun:
@@ -52,7 +119,7 @@ class ExperimentRunner:
     ) -> None:
         if os.environ.get("REPRO_RUNNER_SERIAL"):
             parallel = False
-        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.max_workers = max_workers or default_workers()
         self.cache = cache
         self.parallel = parallel and self.max_workers > 1
 
@@ -83,21 +150,13 @@ class ExperimentRunner:
         if not pending:
             return results
 
-        if self.parallel and len(pending) > 1:
-            workers = min(self.max_workers, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    label: pool.submit(execute_config, config)
-                    for label, config, _ in pending
-                }
-                fresh = {label: futures[label].result() for label, _, _ in pending}
-        else:
-            fresh = {
-                label: execute_config(config) for label, config, _ in pending
-            }
-
-        for label, config, key in pending:
-            run = fresh[label]
+        fresh = fanout_map(
+            execute_config,
+            [config for _, config, _ in pending],
+            max_workers=self.max_workers,
+            parallel=self.parallel,
+        )
+        for (label, config, key), run in zip(pending, fresh):
             if self.cache is not None and key is not None:
                 self.cache.store(key, run, config=config)
             results[label] = run

@@ -1,0 +1,211 @@
+"""``repro sweep`` — grid fan-out of experiments over the runner.
+
+A sweep is the repo's generic parameter-exploration harness: the cross
+product of seeds × time scales × replica policies × client cohort sizes,
+each cell one :class:`~repro.jade.system.ExperimentConfig` ramp run,
+fanned out through the :class:`~repro.runner.parallel.ExperimentRunner`
+(process pool + content-addressed cache, so re-running a sweep with an
+overlapping grid only computes the new cells).  Results flatten to one
+row per cell — grid coordinates plus the standard run summary — written
+as CSV (for plotting) and/or JSON (for programmatic diffing).
+
+Policies:
+
+* ``static``  — fixed one-replica tiers (the paper's unmanaged baseline);
+* ``managed`` — the reactive self-sizing managers of §5.2;
+* ``proactive`` — reactive managers plus the forecasting capacity planner.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.runner.parallel import ExperimentRunner
+
+POLICIES = ("static", "managed", "proactive")
+
+#: per-cell summary columns (after the grid coordinates)
+SUMMARY_FIELDS = (
+    "completed",
+    "failed",
+    "throughput_rps",
+    "latency_mean_ms",
+    "latency_p95_ms",
+    "app_replicas_max",
+    "db_replicas_max",
+    "node_cpu_mean",
+    "node_mem_mean",
+    "wall_time_s",
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid cell: a (policy, seed, scale, cohort) coordinate."""
+
+    policy: str
+    seed: int
+    scale: float
+    cohort: int
+    peak: int = 500
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r} (choose from {POLICIES})"
+            )
+        if self.seed < 0 or self.scale <= 0 or self.cohort < 1:
+            raise ValueError("need seed >= 0, scale > 0, cohort >= 1")
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.policy}-s{self.seed}-x{self.scale:g}-c{self.cohort}"
+        )
+
+    def config(self):
+        """The cell's experiment: the §5.2 ramp at this time scale and
+        cohort size, under this replica policy."""
+        from repro.jade.system import ExperimentConfig
+        from repro.workload.profiles import RampProfile
+
+        return ExperimentConfig(
+            profile=RampProfile(
+                base=80 * self.cohort,
+                peak=self.peak * self.cohort,
+                step_clients=21 * self.cohort,
+                warmup_s=300.0 * self.scale,
+                step_period_s=60.0 * self.scale,
+                cooldown_s=300.0 * self.scale,
+            ),
+            seed=self.seed,
+            managed=self.policy != "static",
+            proactive=self.policy == "proactive",
+            cohort=self.cohort,
+            hardware_scale=float(self.cohort),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The grid: every combination of the four axes, deterministic order
+    (policy-major, then seed, scale, cohort)."""
+
+    seeds: tuple[int, ...] = (1, 2)
+    scales: tuple[float, ...] = (0.1,)
+    policies: tuple[str, ...] = ("static", "managed")
+    cohorts: tuple[int, ...] = (1,)
+    peak: int = 500
+
+    def grid(self) -> list[SweepPoint]:
+        return [
+            SweepPoint(policy, seed, scale, cohort, self.peak)
+            for policy in self.policies
+            for seed in self.seeds
+            for scale in self.scales
+            for cohort in self.cohorts
+        ]
+
+    def to_record(self) -> dict:
+        return {
+            "seeds": list(self.seeds),
+            "scales": list(self.scales),
+            "policies": list(self.policies),
+            "cohorts": list(self.cohorts),
+            "peak": self.peak,
+            "cells": len(self.grid()),
+        }
+
+
+@dataclass
+class SweepResult:
+    """Rows plus provenance, as written to the JSON output."""
+
+    spec: SweepSpec
+    rows: list[dict] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    cache: Optional[dict] = None
+
+    def to_record(self) -> dict:
+        record = {
+            "spec": self.spec.to_record(),
+            "rows": self.rows,
+            "runs": len(self.rows),
+            "elapsed_s": self.elapsed_s,
+            "rows_per_s": (
+                len(self.rows) / self.elapsed_s if self.elapsed_s > 0 else 0.0
+            ),
+        }
+        if self.cache is not None:
+            record["cache"] = self.cache
+        return record
+
+
+def run_sweep(
+    spec: SweepSpec, runner: Optional[ExperimentRunner] = None
+) -> SweepResult:
+    """Execute the whole grid through the runner; one row per cell, in
+    grid order regardless of scheduling."""
+    if runner is None:
+        runner = ExperimentRunner()
+    points = spec.grid()
+    configs = {point.label: point.config() for point in points}
+    hits0 = misses0 = 0
+    if runner.cache is not None:
+        hits0, misses0 = runner.cache.hits, runner.cache.misses
+    t0 = time.perf_counter()
+    results = runner.run_many(configs)
+    elapsed = time.perf_counter() - t0
+    rows = []
+    for point in points:
+        run = results[point.label]
+        row = {
+            "label": point.label,
+            "policy": point.policy,
+            "seed": point.seed,
+            "scale": point.scale,
+            "cohort": point.cohort,
+            "peak": point.peak,
+        }
+        summary = run.summary()
+        for name in SUMMARY_FIELDS:
+            if name == "wall_time_s":
+                row[name] = run.wall_time_s
+            else:
+                row[name] = summary[name]
+        rows.append(row)
+    cache = None
+    if runner.cache is not None:
+        cache = {
+            "dir": str(runner.cache.root),
+            "hits": runner.cache.hits - hits0,
+            "misses": runner.cache.misses - misses0,
+        }
+    return SweepResult(spec=spec, rows=rows, elapsed_s=elapsed, cache=cache)
+
+
+def write_sweep_csv(rows: Sequence[dict], path: str | Path) -> Path:
+    """One row per grid cell, columns in stable order."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    columns = list(rows[0].keys())
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_sweep_json(result: SweepResult, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(
+        json.dumps(result.to_record(), indent=2, default=float) + "\n"
+    )
+    return path

@@ -194,3 +194,74 @@ class TestScalingAndBenchFlags:
         report = json.loads(out.read_text())
         assert "kernel_10k_events" in report["micro"]
         assert "ramp" not in report
+        assert "whatif" not in report
+
+    def test_bench_whatif_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--check-whatif", "BENCH_engine.json",
+             "--whatif-candidates", "4"]
+        )
+        assert args.check_whatif == "BENCH_engine.json"
+        assert args.whatif_candidates == 4
+        assert build_parser().parse_args(["bench"]).check_whatif is None
+
+    def test_whatif_parallel_flags(self):
+        args = build_parser().parse_args(
+            ["whatif", "--serial", "--no-cache", "--prune", "--workers", "3"]
+        )
+        assert args.serial and args.no_cache and args.prune
+        assert args.workers == 3
+        defaults = build_parser().parse_args(["whatif"])
+        assert not defaults.serial and not defaults.no_cache
+        assert not defaults.prune and defaults.workers is None
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--seeds", "1,2,3", "--scales", "0.05,0.1",
+             "--policies", "managed,proactive", "--cohorts", "1,4",
+             "--peak", "200", "--csv", "out.csv", "--json", "out.json",
+             "--serial", "--no-cache", "--workers", "2"]
+        )
+        assert args.command == "sweep"
+        assert args.seeds == "1,2,3"
+        assert args.policies == "managed,proactive"
+        assert args.peak == 200
+        assert args.serial and args.no_cache and args.workers == 2
+
+    def test_cache_flags(self):
+        args = build_parser().parse_args(["cache", "stats", "--dir", "/tmp/c"])
+        assert args.command == "cache"
+        assert args.action == "stats"
+        assert args.dir == "/tmp/c"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "bogus"])
+
+
+class TestCacheCommand:
+    def test_stats_clear_round_trip(self, tmp_path, monkeypatch, capsys):
+        from repro.runner.cache import ResultCache
+
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        ResultCache().store("a" * 64, {"payload": 1})
+
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 1" in out
+        assert str(cache_dir) in out
+
+        assert main(["cache", "prune"]) == 0
+        assert "evicted 0" in capsys.readouterr().out  # under the cap
+
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries   : 0" in capsys.readouterr().out
+
+    def test_dir_flag_overrides_env(self, tmp_path, capsys):
+        target = tmp_path / "explicit"
+        from repro.runner.cache import ResultCache
+
+        ResultCache(target).store("b" * 64, {"payload": 2})
+        assert main(["cache", "stats", "--dir", str(target)]) == 0
+        assert "entries   : 1" in capsys.readouterr().out

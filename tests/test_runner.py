@@ -106,6 +106,77 @@ class TestResultCache:
 
 
 # ----------------------------------------------------------------------
+# Cache hygiene: stats, LRU pruning, clearing
+# ----------------------------------------------------------------------
+class TestCacheHygiene:
+    def fill(self, cache, n=4, size=1000):
+        """Store n entries with distinct, strictly increasing mtimes."""
+        import os
+
+        keys = []
+        for i in range(n):
+            key = f"{'0' * 60}{i:04d}"
+            cache.store(key, {"blob": "x" * size, "i": i})
+            payload = cache.root / f"{key}.pkl"
+            # Deterministic LRU order without sleeping between stores.
+            os.utime(payload, (1000.0 + i, 1000.0 + i))
+            keys.append(key)
+        return keys
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = ResultCache(root=tmp_path, max_bytes=0)
+        self.fill(cache, n=3)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 3000
+        assert stats["dir"] == str(tmp_path)
+
+    def test_prune_evicts_least_recently_used_first(self, tmp_path):
+        cache = ResultCache(root=tmp_path, max_bytes=0)
+        keys = self.fill(cache, n=4)
+        per_entry = cache.stats()["bytes"] // 4
+        evicted = cache.prune(max_bytes=per_entry * 2)
+        assert evicted == keys[:2]  # oldest first
+        assert cache.load(keys[3]) is not None
+        assert cache.load(keys[0]) is None
+
+    def test_load_refreshes_recency(self, tmp_path):
+        cache = ResultCache(root=tmp_path, max_bytes=0)
+        keys = self.fill(cache, n=3)
+        assert cache.load(keys[0]) is not None  # touch the oldest
+        per_entry = cache.stats()["bytes"] // 3
+        evicted = cache.prune(max_bytes=per_entry)
+        assert keys[0] not in evicted  # survived: recently used
+        assert keys[1] in evicted
+
+    def test_store_prunes_when_capped(self, tmp_path):
+        cache = ResultCache(root=tmp_path, max_bytes=0)
+        self.fill(cache, n=2)
+        per_entry = cache.stats()["bytes"] // 2
+        capped = ResultCache(root=tmp_path, max_bytes=per_entry * 2)
+        capped.store("f" * 64, {"blob": "y" * 1000})
+        assert capped.stats()["bytes"] <= per_entry * 2 + 100
+
+    def test_zero_cap_disables_pruning(self, tmp_path):
+        cache = ResultCache(root=tmp_path, max_bytes=0)
+        self.fill(cache, n=4)
+        assert cache.prune() == []
+        assert cache.stats()["entries"] == 4
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(root=tmp_path, max_bytes=0)
+        self.fill(cache, n=3)
+        assert cache.clear() == 3
+        assert cache.stats()["entries"] == 0
+
+    def test_max_bytes_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+        assert ResultCache(root=tmp_path).max_bytes == 12345
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "0")
+        assert ResultCache(root=tmp_path).max_bytes == 0
+
+
+# ----------------------------------------------------------------------
 # Runner: parallel == serial, cache short-circuiting
 # ----------------------------------------------------------------------
 class TestExperimentRunner:

@@ -18,7 +18,13 @@ from repro.capacity import (
     WhatIfEngine,
     run_to_fork,
 )
-from repro.capacity.whatif import BALANCER_NODES, Candidate, default_candidates
+from repro.capacity.whatif import (
+    BALANCER_NODES,
+    Candidate,
+    default_candidates,
+    warm_fingerprint,
+)
+from repro.runner.cache import ResultCache
 from repro.jade.system import ExperimentConfig, ManagedSystem
 from repro.workload import DEFAULT_CALIBRATION
 from repro.workload.profiles import RampProfile
@@ -240,6 +246,24 @@ class TestEngineContract:
         with pytest.raises(ValueError, match="freshly built"):
             run_to_fork(system, 10.0)
 
+    def test_run_to_fork_rejects_started_emulator(self):
+        # Regression: a system whose emulator was started (but whose clock
+        # never advanced) must also be rejected — run_to_fork would start
+        # the emulator a second time.
+        system = build_system()
+        system.emulator.start()
+        with pytest.raises(ValueError, match="freshly built"):
+            run_to_fork(system, 10.0)
+
+    def test_run_to_fork_rejects_processed_events(self):
+        system = build_system()
+        system.kernel.schedule(0.0, lambda: None)
+        system.kernel.run(until=0.0)
+        assert system.kernel.now == 0.0  # clock alone would not catch it
+        assert system.kernel.events_processed > 0
+        with pytest.raises(ValueError, match="freshly built"):
+            run_to_fork(system, 10.0)
+
     def test_engine_validates_windows(self):
         with pytest.raises(ValueError):
             WhatIfEngine(horizon_s=0.0)
@@ -255,3 +279,149 @@ class TestEngineContract:
         parsed = json.loads(report)
         assert isinstance(parsed, list)
         assert list(parsed[0]) == sorted(parsed[0])
+
+
+class TestParallelEvaluation:
+    def test_parallel_report_byte_identical_to_serial(self, fork):
+        _, snapshot, forecast = fork
+        serial = make_engine()
+        serial_report = serial.report(serial.evaluate(snapshot, forecast))
+        parallel = WhatIfEngine(
+            horizon_s=45.0,
+            warmup_s=40.0,
+            cost_model=CostModel(),
+            parallel=True,
+            max_workers=2,
+        )
+        parallel_report = parallel.report(parallel.evaluate(snapshot, forecast))
+        assert parallel_report == serial_report
+
+    def test_parallel_winner_matches_serial(self, fork):
+        _, snapshot, forecast = fork
+        serial = make_engine()
+        parallel = WhatIfEngine(
+            horizon_s=45.0,
+            warmup_s=40.0,
+            cost_model=CostModel(),
+            parallel=True,
+            max_workers=2,
+        )
+        serial_best = serial.best(serial.evaluate(snapshot, forecast))
+        parallel_best = parallel.best(parallel.evaluate(snapshot, forecast))
+        assert parallel_best.candidate == serial_best.candidate
+
+
+class TestWarmedBranchCache:
+    def make_cached_engine(self, tmp_path) -> WhatIfEngine:
+        return WhatIfEngine(
+            horizon_s=45.0,
+            warmup_s=40.0,
+            cost_model=CostModel(),
+            cache=ResultCache(tmp_path / "cache"),
+        )
+
+    def test_first_evaluation_misses_then_hits(self, fork, tmp_path):
+        _, snapshot, forecast = fork
+        cold = self.make_cached_engine(tmp_path)
+        cold_out = cold.evaluate(snapshot, forecast)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == len(cold_out)
+        assert cold.branches_run == len(cold_out)
+
+        warm = self.make_cached_engine(tmp_path)
+        warm_out = warm.evaluate(snapshot, forecast)
+        assert warm.cache_hits == len(warm_out)
+        assert warm.cache_misses == 0
+        assert warm.branches_run == 0  # replayed nothing
+        assert warm.report(warm_out) == cold.report(cold_out)
+
+    def test_cached_report_byte_identical_to_uncached(self, fork, tmp_path):
+        _, snapshot, forecast = fork
+        plain = make_engine()
+        plain_report = plain.report(plain.evaluate(snapshot, forecast))
+        cached = self.make_cached_engine(tmp_path)
+        cached.evaluate(snapshot, forecast)
+        warm = self.make_cached_engine(tmp_path)
+        assert warm.report(warm.evaluate(snapshot, forecast)) == plain_report
+
+    def test_candidates_share_warm_fingerprint(self, fork):
+        _, snapshot, forecast = fork
+        engine = make_engine()
+        specs = [
+            engine.branch_spec(snapshot, forecast, c)
+            for c in default_candidates(snapshot)
+        ]
+        assert len({warm_fingerprint(s) for s in specs}) == 1
+
+    def test_forecast_changes_warm_fingerprint(self, fork):
+        _, snapshot, forecast = fork
+        engine = make_engine()
+        a = engine.branch_spec(snapshot, forecast, Candidate(1, 1))
+        bumped = [(t, v + 10.0) for t, v in forecast]
+        b = engine.branch_spec(snapshot, bumped, Candidate(1, 1))
+        assert warm_fingerprint(a) != warm_fingerprint(b)
+
+    def test_fingerprint_invariant_to_decision_time(self, fork):
+        # Two decisions at different absolute times under identical
+        # conditions share cache entries: the spec normalizes the
+        # forecast to offsets from the snapshot instant.
+        _, snapshot, forecast = fork
+        from dataclasses import replace
+
+        engine = make_engine()
+        shifted_snapshot = replace(snapshot, t=snapshot.t + 100.0)
+        shifted_forecast = [(t + 100.0, v) for t, v in forecast]
+        a = engine.branch_spec(snapshot, forecast, Candidate(1, 1))
+        b = engine.branch_spec(shifted_snapshot, shifted_forecast, Candidate(1, 1))
+        assert a == b
+        assert warm_fingerprint(a) == warm_fingerprint(b)
+
+
+class TestDominancePruning:
+    def make_pruning_engine(self, **kwargs) -> WhatIfEngine:
+        return WhatIfEngine(
+            horizon_s=45.0,
+            warmup_s=40.0,
+            cost_model=CostModel(),
+            prune=True,
+            prune_check_s=10.0,
+            **kwargs,
+        )
+
+    def test_pruning_never_changes_selected_candidate(self, fork):
+        _, snapshot, forecast = fork
+        serial = make_engine()
+        serial_out = serial.evaluate(snapshot, forecast)
+        pruning = self.make_pruning_engine()
+        pruned_out = pruning.evaluate(snapshot, forecast)
+        assert (
+            pruning.best(pruned_out).candidate
+            == serial.best(serial_out).candidate
+        )
+
+    def test_pruned_outcomes_cost_above_winner(self, fork):
+        _, snapshot, forecast = fork
+        engine = self.make_pruning_engine()
+        outcomes = engine.evaluate(snapshot, forecast)
+        best_total = engine.best(outcomes).cost.total
+        for outcome in outcomes:
+            if outcome.pruned:
+                assert outcome.cost.total > best_total
+
+    def test_non_pruned_records_identical_to_serial(self, fork):
+        _, snapshot, forecast = fork
+        serial_out = make_engine().evaluate(snapshot, forecast)
+        pruned_out = self.make_pruning_engine().evaluate(snapshot, forecast)
+        for pruned, plain in zip(pruned_out, serial_out):
+            if not pruned.pruned:
+                assert pruned.to_record() == plain.to_record()
+
+    def test_pruning_composes_with_parallel(self, fork):
+        _, snapshot, forecast = fork
+        serial = make_engine()
+        engine = self.make_pruning_engine(parallel=True, max_workers=2)
+        outcomes = engine.evaluate(snapshot, forecast)
+        assert (
+            engine.best(outcomes).candidate
+            == serial.best(serial.evaluate(snapshot, forecast)).candidate
+        )
