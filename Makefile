@@ -1,6 +1,6 @@
 # Convenience targets for the Jade reproduction.
 
-.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check bench-whatif-check figures examples trace-demo whatif-demo sweep-demo clean
+.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check bench-whatif-check chaos-demo chaos-smoke figures examples trace-demo whatif-demo sweep-demo clean
 
 install:
 	pip install -e .
@@ -34,10 +34,28 @@ bench-smoke:
 	REPRO_BENCH_SCALE=0.15 pytest benchmarks/bench_fig5_replicas.py \
 		--benchmark-only -x -q -s
 
+# Gray failure demo: the legacy up-flag heartbeat misses a crawling DB
+# replica; the phi-accrual progress detector repairs it.  Then the
+# classic crash campaign with a multi-seed scorecard.
+chaos-demo:
+	python -m repro chaos --campaign gray --detector legacy \
+		--seeds 1 --clients 60 --duration 420 --serial
+	python -m repro chaos --campaign gray --seeds 1 --clients 60 \
+		--duration 420 --events --serial
+	python -m repro chaos --campaign crash --seeds 1,2,3 --clients 60 \
+		--duration 420 --json /tmp/repro-chaos.json
+	@echo "canonical scorecard: /tmp/repro-chaos.json"
+
+# Fast resilience gate used by CI: one-seed campaigns + assertions.
+chaos-smoke:
+	python benchmarks/bench_chaos.py --smoke
+
 # Engine benchmark: micro scenarios + multi-seed ramp pair through the
-# parallel cached runner; refreshes the committed BENCH_engine.json.
+# parallel cached runner; refreshes the committed BENCH_engine.json
+# (the chaos section is re-merged by its own benchmark).
 bench-engine:
 	python -m repro bench --out BENCH_engine.json
+	python benchmarks/bench_chaos.py --out BENCH_engine.json
 
 # Perf gate used by CI: fail if the micro scenarios regress >25% against
 # the committed report.

@@ -1,0 +1,335 @@
+"""Fault-model library.
+
+A :class:`FaultSpec` is a frozen, picklable description of one fault — a
+pure value, like :class:`~repro.capacity.whatif.BranchSpec`, so campaigns
+containing them flow through ``describe_config`` and the process-pool
+runner unchanged.  The :class:`ChaosInjector` interprets specs against a
+live :class:`~repro.jade.system.ManagedSystem`:
+
+========== =============================================================
+kind       effect
+========== =============================================================
+crash      fail-stop: ``node.crash()`` (the classic scenario)
+slow       fail-slow: CPU degraded to ``severity`` of nominal speed for
+           ``duration_s`` (heartbeats keep passing)
+gray       like ``slow`` but with a crawl-level factor: the node answers
+           every liveness check while serving essentially nothing
+partition  the victim node is network-isolated (``node.isolate()``, LAN
+           partition recorded); in-flight work is lost, heartbeats pass
+latency    LAN-wide: ``severity`` seconds added to every message delay
+correlated one rack dies: every replica node in the victim's rack group
+           (``index % campaign.racks``) crashes together
+poisson    a crash stream with exponential inter-arrivals (``mtbf_s``)
+           over the target tier, starting at ``at_s``
+========== =============================================================
+
+Victims are chosen at fire time (``pick`` = newest/oldest/random replica
+of the ``target`` tier) from the injector's dedicated seeded RNG stream,
+so a campaign is deterministic per seed yet composes with whatever the
+managers did in the meantime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.events import FaultCleared, FaultInjected
+from repro.simulation.kernel import Event
+
+KINDS = (
+    "crash",
+    "slow",
+    "gray",
+    "partition",
+    "latency",
+    "correlated",
+    "poisson",
+)
+TARGETS = ("app", "db", "any")
+PICKS = ("newest", "oldest", "random")
+
+#: fault kinds that disable a replica and should end in a repair
+DISRUPTIVE = ("crash", "slow", "gray", "partition", "correlated")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault (see the module table for semantics)."""
+
+    kind: str
+    at_s: float = 0.0
+    #: transient faults (slow/gray/partition/latency) clear after this;
+    #: 0 means the fault is permanent (or instantaneous, for crashes)
+    duration_s: float = 0.0
+    #: slow/gray: delivered fraction of CPU speed; latency: added seconds
+    severity: float = 1.0
+    target: str = "db"
+    pick: str = "newest"
+    #: poisson only: mean time between crashes
+    mtbf_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.target not in TARGETS:
+            raise ValueError(f"unknown target {self.target!r}")
+        if self.pick not in PICKS:
+            raise ValueError(f"unknown pick {self.pick!r}")
+        if self.at_s < 0 or self.duration_s < 0:
+            raise ValueError("fault times must be >= 0")
+        if self.severity <= 0 and self.kind in ("slow", "gray"):
+            raise ValueError("degradation severity must be positive")
+        if self.kind == "latency" and self.severity < 0:
+            raise ValueError("added latency must be >= 0")
+        if self.kind == "poisson" and self.mtbf_s <= 0:
+            raise ValueError("poisson faults need mtbf_s > 0")
+
+
+# ----------------------------------------------------------------------
+# Spec constructors (readable campaign definitions)
+# ----------------------------------------------------------------------
+def crash(at_s: float, target: str = "db", pick: str = "newest") -> FaultSpec:
+    return FaultSpec("crash", at_s=at_s, target=target, pick=pick)
+
+
+def fail_slow(
+    at_s: float,
+    duration_s: float,
+    factor: float = 0.25,
+    target: str = "db",
+    pick: str = "newest",
+) -> FaultSpec:
+    return FaultSpec(
+        "slow", at_s=at_s, duration_s=duration_s, severity=factor,
+        target=target, pick=pick,
+    )
+
+
+def gray(
+    at_s: float,
+    duration_s: float,
+    factor: float = 0.005,
+    target: str = "db",
+    pick: str = "newest",
+) -> FaultSpec:
+    return FaultSpec(
+        "gray", at_s=at_s, duration_s=duration_s, severity=factor,
+        target=target, pick=pick,
+    )
+
+
+def partition(
+    at_s: float, duration_s: float, target: str = "app", pick: str = "newest"
+) -> FaultSpec:
+    return FaultSpec(
+        "partition", at_s=at_s, duration_s=duration_s, target=target, pick=pick
+    )
+
+
+def extra_latency(at_s: float, duration_s: float, extra_s: float) -> FaultSpec:
+    return FaultSpec(
+        "latency", at_s=at_s, duration_s=duration_s, severity=extra_s
+    )
+
+
+def correlated(at_s: float, target: str = "any", pick: str = "random") -> FaultSpec:
+    return FaultSpec("correlated", at_s=at_s, target=target, pick=pick)
+
+
+def poisson(mtbf_s: float, at_s: float = 0.0, target: str = "any") -> FaultSpec:
+    return FaultSpec("poisson", at_s=at_s, target=target, mtbf_s=mtbf_s)
+
+
+# ----------------------------------------------------------------------
+# Injector
+# ----------------------------------------------------------------------
+class ChaosInjector:
+    """Applies a :class:`~repro.chaos.campaign.ChaosCampaign` to a live
+    system.
+
+    Every applied fault is recorded three ways: a plain-data entry in
+    :attr:`events` (what :class:`~repro.runner.results.ChaosStats`
+    carries across process boundaries), a ``[chaos] ...`` line in the
+    metrics collector's reconfiguration log, and — when tracing is on —
+    a :class:`~repro.obs.events.FaultInjected` trace event.
+    """
+
+    def __init__(self, system, campaign, rng) -> None:
+        self.system = system
+        self.kernel = system.kernel
+        self.campaign = campaign
+        self.rng = rng
+        self.collector = system.collector
+        #: optional decision tracer (set by the assembled system)
+        self.tracer = None
+        self.faults_injected = 0
+        #: plain-data fault log: {"t", "fault", "node", "tier", "detail"}
+        self.events: list[dict] = []
+        self._scheduled: list[Event] = []
+        self._active_isolations = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for spec in self.campaign.faults:
+            if spec.kind == "poisson":
+                self._arm_poisson(spec)
+            else:
+                self._scheduled.append(
+                    self.kernel.schedule_at(spec.at_s, self._fire, spec)
+                )
+
+    def stop(self) -> None:
+        """Cancel every pending injection and clearance."""
+        for event in self._scheduled:
+            event.cancel()
+        self._scheduled.clear()
+
+    # ------------------------------------------------------------------
+    def _candidates(self, target: str) -> list[tuple]:
+        tiers = {
+            "app": [self.system.app_tier],
+            "db": [self.system.db_tier],
+            "any": [self.system.app_tier, self.system.db_tier],
+        }[target]
+        out = []
+        for tier in tiers:
+            for record in tier.replicas:
+                if record.node.up and not record.node.isolated:
+                    out.append((tier.tier_name, record))
+        return out
+
+    def _pick(self, spec: FaultSpec, candidates: list[tuple]) -> tuple:
+        if spec.pick == "newest":
+            return candidates[-1]
+        if spec.pick == "oldest":
+            return candidates[0]
+        return candidates[int(self.rng.integers(len(candidates)))]
+
+    def _record(
+        self, fault: str, node: str, tier: str = "", detail: str = ""
+    ) -> None:
+        t = self.kernel.now
+        self.faults_injected += 1
+        self.events.append(
+            {"t": t, "fault": fault, "node": node, "tier": tier, "detail": detail}
+        )
+        self.collector.record_reconfiguration(
+            t, f"[chaos] {fault} {node or 'lan'}" + (f" ({detail})" if detail else "")
+        )
+        if self.tracer is not None:
+            self.tracer.emit(
+                FaultInjected(t, fault=fault, target=node or "lan",
+                              tier=tier, detail=detail)
+            )
+
+    def _cleared(self, fault: str, target: str) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(FaultCleared(self.kernel.now, fault=fault, target=target))
+
+    def _clear_at(self, delay: float, fn, *args) -> None:
+        self._scheduled.append(self.kernel.schedule(delay, fn, *args))
+
+    # ------------------------------------------------------------------
+    def _fire(self, spec: FaultSpec) -> None:
+        candidates = self._candidates(spec.target)
+        if spec.kind == "latency":
+            self._apply_latency(spec)
+            return
+        if not candidates:
+            # Nothing eligible (tier empty / everything already faulted):
+            # log the attempt so the scorecard can report it.
+            self.events.append(
+                {"t": self.kernel.now, "fault": spec.kind, "node": "",
+                 "tier": "", "detail": "no-eligible-victim"}
+            )
+            return
+        tier_name, record = self._pick(spec, candidates)
+        node = record.node
+        if spec.kind == "crash":
+            self._record("crash", node.name, tier_name)
+            node.crash()
+        elif spec.kind in ("slow", "gray"):
+            detail = f"factor={spec.severity:g}"
+            if spec.duration_s > 0:
+                detail += f" for {spec.duration_s:g}s"
+            self._record(spec.kind, node.name, tier_name, detail)
+            node.degrade(spec.severity)
+            if spec.duration_s > 0:
+                self._clear_at(
+                    spec.duration_s, self._restore_node, spec.kind, node
+                )
+        elif spec.kind == "partition":
+            detail = f"for {spec.duration_s:g}s" if spec.duration_s > 0 else ""
+            self._record("partition", node.name, tier_name, detail)
+            others = [
+                n for n in self.system.involved_nodes() if n is not node
+            ]
+            self.system.lan.partition([node], others)
+            node.isolate()
+            self._active_isolations += 1
+            if spec.duration_s > 0:
+                self._clear_at(spec.duration_s, self._heal_node, node)
+        elif spec.kind == "correlated":
+            self._fire_correlated(spec, tier_name, record, candidates)
+
+    def _fire_correlated(self, spec, tier_name, record, candidates) -> None:
+        racks = max(1, self.campaign.racks)
+        rack_of = {
+            n.name: i % racks for i, n in enumerate(self.system.nodes)
+        }
+        victim_rack = rack_of.get(record.node.name, 0)
+        doomed = [
+            (tn, r)
+            for tn, r in candidates
+            if rack_of.get(r.node.name, -1) == victim_rack
+        ]
+        for tn, r in doomed:
+            self._record("correlated", r.node.name, tn, f"rack={victim_rack}")
+            r.node.crash()
+
+    def _apply_latency(self, spec: FaultSpec) -> None:
+        detail = f"extra={spec.severity:g}s"
+        if spec.duration_s > 0:
+            detail += f" for {spec.duration_s:g}s"
+        self._record("latency", "", "", detail)
+        self.system.lan.set_extra_latency(spec.severity)
+        if spec.duration_s > 0:
+            self._clear_at(spec.duration_s, self._restore_latency)
+
+    # -- clearances ----------------------------------------------------
+    def _restore_node(self, fault: str, node) -> None:
+        if node.up:
+            node.restore()
+        self._cleared(fault, node.name)
+
+    def _heal_node(self, node) -> None:
+        node.heal()
+        self._active_isolations -= 1
+        if self._active_isolations <= 0:
+            self.system.lan.heal()
+        self._cleared("partition", node.name)
+
+    def _restore_latency(self) -> None:
+        self.system.lan.set_extra_latency(0.0)
+        self._cleared("latency", "lan")
+
+    # -- poisson stream ------------------------------------------------
+    def _arm_poisson(self, spec: FaultSpec, first: Optional[bool] = True) -> None:
+        delay = float(self.rng.exponential(spec.mtbf_s))
+        at = (spec.at_s if first else self.kernel.now) + delay
+        self._scheduled.append(
+            self.kernel.schedule_at(at, self._fire_poisson, spec)
+        )
+
+    def _fire_poisson(self, spec: FaultSpec) -> None:
+        candidates = self._candidates(spec.target)
+        if candidates:
+            tier_name, record = candidates[int(self.rng.integers(len(candidates)))]
+            self._record("crash", record.node.name, tier_name, "poisson")
+            record.node.crash()
+        self._arm_poisson(spec, first=False)

@@ -1,0 +1,208 @@
+"""Resilience scorecard.
+
+Turns finished campaign runs into the numbers a resilience story is told
+with: MTTR (fault injection → replacement replica active), detection
+latency, availability (completed / attempted requests), goodput and SLO
+violation time under fault — per seed, then aggregated across seeds with
+95 % confidence intervals (the same mean/ci95 convention as
+``BENCH_engine.json``).
+
+Everything here is a pure function of :class:`CompletedRun` plain data
+(the chaos event log, the recovery manager's detection log and the
+collector's reconfiguration log), so the scorecard of a cached or
+pool-worker run is byte-identical to a serial one —
+:func:`scorecard_json` canonicalizes (sorted keys, rounded floats) to
+make that testable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Optional, Sequence
+
+from repro.capacity.cost import slo_violation_time
+from repro.chaos.faults import DISRUPTIVE
+
+
+def _stats(values: Sequence[float]) -> dict[str, float]:
+    clean = [v for v in values if v == v]  # drop NaNs (no repair observed)
+    if not clean:
+        return {"mean": float("nan"), "ci95": 0.0, "n": 0}
+    mean = sum(clean) / len(clean)
+    if len(clean) > 1:
+        var = sum((v - mean) ** 2 for v in clean) / (len(clean) - 1)
+        ci = 1.96 * math.sqrt(var) / math.sqrt(len(clean))
+    else:
+        ci = 0.0
+    return {"mean": mean, "ci95": ci, "n": len(clean)}
+
+
+def _repair_times(collector) -> dict[str, list[float]]:
+    """Repair-completion times per tier, from the reconfiguration log.
+
+    With self-optimization off (``campaign_config``), every ``grow: ...
+    active`` entry is a repair bringing a replacement replica online.
+    """
+    times: dict[str, list[float]] = {}
+    for t, desc in collector.reconfigurations:
+        if "grow:" in desc and " active on " in desc and desc.startswith("["):
+            tier = desc[1 : desc.index("]")]
+            times.setdefault(tier, []).append(t)
+    return times
+
+
+def _match(fault_t: float, pool: list[float], used: set[int]) -> Optional[float]:
+    """Earliest unused time in ``pool`` strictly after ``fault_t``."""
+    for i, t in enumerate(pool):
+        if i not in used and t > fault_t:
+            used.add(i)
+            return t
+    return None
+
+
+def score_run(run, slo_latency_s: float = 0.5) -> dict:
+    """Per-run scorecard of one campaign execution (a :class:`CompletedRun`
+    — or any object exposing ``config``/``collector``/``chaos``)."""
+    chaos = run.chaos
+    if chaos is None:
+        raise ValueError("run has no chaos campaign attached")
+    col = run.collector
+    duration = run.config.profile.duration_s
+
+    disruptions = [
+        e for e in chaos.events if e["fault"] in DISRUPTIVE and e["node"]
+    ]
+    repairs = _repair_times(col)
+    detections = sorted(chaos.detections, key=lambda d: d["t"])
+
+    mttrs: list[float] = []
+    detect_latencies: list[float] = []
+    used_repairs: dict[str, set[int]] = {}
+    used_detections: set[int] = set()
+    unrepaired = 0
+    for event in sorted(disruptions, key=lambda e: e["t"]):
+        tier = event["tier"]
+        repaired_t = _match(
+            event["t"], repairs.get(tier, []), used_repairs.setdefault(tier, set())
+        )
+        if repaired_t is None:
+            unrepaired += 1
+        else:
+            mttrs.append(repaired_t - event["t"])
+        for i, det in enumerate(detections):
+            if i not in used_detections and det["tier"] == tier and det["t"] >= event["t"]:
+                used_detections.add(i)
+                detect_latencies.append(det["t"] - event["t"])
+                break
+
+    completed = col.completed_requests
+    failed = col.failed_requests
+    attempted = completed + failed
+    return {
+        "seed": run.config.seed,
+        "faults_injected": chaos.faults_injected,
+        "disruptions": len(disruptions),
+        "repairs_completed": len(mttrs),
+        "unrepaired": unrepaired,
+        "mttr_mean_s": _mean_or_nan(mttrs),
+        "mttr_max_s": max(mttrs) if mttrs else float("nan"),
+        "detect_mean_s": _mean_or_nan(detect_latencies),
+        "detections": len(detections),
+        "availability": completed / attempted if attempted else 1.0,
+        "goodput_rps": col.throughput(0.0, duration),
+        "slo_violation_s": slo_violation_time(
+            col.latencies, 0.0, duration, slo_latency_s
+        ),
+        "failed_requests": failed,
+        "completed_requests": completed,
+    }
+
+
+def _mean_or_nan(values: list[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
+#: per-seed metrics aggregated with mean/ci95 across seeds
+AGGREGATED = (
+    "mttr_mean_s",
+    "detect_mean_s",
+    "availability",
+    "goodput_rps",
+    "slo_violation_s",
+)
+
+
+def score_campaign(
+    campaign, runs: Sequence, slo_latency_s: float = 0.5
+) -> dict:
+    """Multi-seed scorecard: per-seed rows plus mean/ci95 aggregates."""
+    per_seed = [score_run(r, slo_latency_s) for r in runs]
+    aggregate = {
+        metric: _stats([row[metric] for row in per_seed])
+        for metric in AGGREGATED
+    }
+    aggregate["repairs_completed"] = _stats(
+        [float(row["repairs_completed"]) for row in per_seed]
+    )
+    return {
+        "campaign": campaign.name,
+        "detector": campaign.detector,
+        "slo_latency_s": slo_latency_s,
+        "seeds": [row["seed"] for row in per_seed],
+        "per_seed": per_seed,
+        "aggregate": aggregate,
+    }
+
+
+# ----------------------------------------------------------------------
+# Canonical serialization (byte-identity) and rendering
+# ----------------------------------------------------------------------
+def _canonical(value):
+    if isinstance(value, dict):
+        return {k: _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, float):
+        if value != value:
+            return None  # NaN is not valid JSON; canonicalize to null
+        return round(value, 9)
+    return value
+
+
+def scorecard_json(scorecard: dict) -> str:
+    """Canonical JSON: sorted keys, floats rounded to 9 decimals, NaN →
+    null.  Two runs of the same campaign + seeds — serial, parallel or
+    cache-resolved — must produce byte-identical output."""
+    return json.dumps(_canonical(scorecard), indent=2, sort_keys=True) + "\n"
+
+
+def render_scorecard(scorecard: dict) -> list[str]:
+    """Human-readable scorecard block for the CLI."""
+    agg = scorecard["aggregate"]
+
+    def fmt(metric: str, scale: float = 1.0, unit: str = "") -> str:
+        s = agg[metric]
+        if s["n"] == 0 or s["mean"] != s["mean"]:
+            return "n/a"
+        return f"{s['mean'] * scale:.2f} ± {s['ci95'] * scale:.2f}{unit}"
+
+    lines = [
+        f"Campaign '{scorecard['campaign']}' "
+        f"(detector: {scorecard['detector']}, "
+        f"seeds: {', '.join(str(s) for s in scorecard['seeds'])})",
+        f"  MTTR                : {fmt('mttr_mean_s', unit=' s')}",
+        f"  detection latency   : {fmt('detect_mean_s', unit=' s')}",
+        f"  availability        : {fmt('availability', scale=100.0, unit=' %')}",
+        f"  goodput             : {fmt('goodput_rps', unit=' req/s')}",
+        f"  SLO violation       : {fmt('slo_violation_s', unit=' s')} "
+        f"(SLO {scorecard['slo_latency_s'] * 1000:.0f} ms)",
+    ]
+    total_disruptions = sum(r["disruptions"] for r in scorecard["per_seed"])
+    total_repairs = sum(r["repairs_completed"] for r in scorecard["per_seed"])
+    total_unrepaired = sum(r["unrepaired"] for r in scorecard["per_seed"])
+    lines.append(
+        f"  repairs             : {total_repairs}/{total_disruptions} faults"
+        + (f" ({total_unrepaired} unrepaired)" if total_unrepaired else "")
+    )
+    return lines

@@ -7,6 +7,7 @@ Run the paper's experiments without writing code::
     python -m repro ramp --proactive          # forecast-driven capacity manager
     python -m repro steady --clients 80       # Table 1 operating point
     python -m repro recovery                  # crash + repair scenario
+    python -m repro chaos --campaign gray --detector phi   # fault campaign
     python -m repro whatif --at 400           # fork mid-ramp, compare candidates
     python -m repro ramp --managed --csv out.csv   # export the series
 
@@ -108,6 +109,56 @@ def build_parser() -> argparse.ArgumentParser:
     recovery.add_argument("--clients", type=int, default=120)
     recovery.add_argument("--crash-at", type=float, default=300.0)
     _add_common(recovery)
+
+    from repro.chaos.campaign import PRESETS
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a fault-injection campaign and print the resilience "
+        "scorecard (MTTR, detection latency, availability, goodput, SLO)",
+    )
+    chaos.add_argument(
+        "--campaign", default="crash", choices=sorted(PRESETS),
+        help="named campaign preset (default: crash)",
+    )
+    chaos.add_argument(
+        "--detector", choices=("legacy", "phi"), default=None,
+        help="override the campaign's failure-detection path "
+        "(legacy heartbeat vs phi-accrual progress detector)",
+    )
+    chaos.add_argument(
+        "--seeds", default="1,2,3", metavar="LIST",
+        help="comma-separated seeds; CIs aggregate across them "
+        "(default 1,2,3)",
+    )
+    chaos.add_argument("--clients", type=int, default=120)
+    chaos.add_argument(
+        "--duration", type=float, default=600.0,
+        help="simulated seconds per run (default 600)",
+    )
+    chaos.add_argument(
+        "--slo", type=float, default=0.5, metavar="SEC",
+        help="latency SLO for the violation-time metric (default 0.5 s)",
+    )
+    chaos.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the canonical scorecard JSON (byte-stable across "
+        "serial/parallel/cached execution)",
+    )
+    chaos.add_argument(
+        "--events", action="store_true",
+        help="print the per-seed fault and detection event logs",
+    )
+    chaos.add_argument(
+        "--serial", action="store_true", help="run seeds in-process"
+    )
+    chaos.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool width for the seed fan-out",
+    )
 
     whatif = sub.add_parser(
         "whatif",
@@ -325,7 +376,9 @@ def _print_summary(system: ManagedSystem) -> None:
         )
 
 
-def _write_csv(system: ManagedSystem, path: str) -> None:
+def _write_csv(
+    system: ManagedSystem, path: str, extra: Optional[dict] = None
+) -> None:
     from repro.metrics.export import write_csv, write_json
 
     rows = write_csv(system.collector, path)
@@ -338,6 +391,7 @@ def _write_csv(system: ManagedSystem, path: str) -> None:
             horizon_s=system.config.profile.duration_s,
             tracer=system.tracer,
             seed=system.config.seed,
+            extra=extra,
         )
         print(f"Summary report written to {json_path}")
 
@@ -486,6 +540,31 @@ def cmd_whatif(args: argparse.Namespace) -> int:
     return 0
 
 
+def _recovery_metrics(system: ManagedSystem, crash_t: float) -> dict:
+    """Detection latency, MTTR and availability of a single-crash run,
+    extracted from the reconfiguration log (same parse as
+    ``benchmarks/bench_recovery.py``)."""
+    col = system.collector
+    detect_t = repaired_t = None
+    for t, desc in col.reconfigurations:
+        if detect_t is None and t >= crash_t and "detected failure" in desc:
+            detect_t = t
+        if repaired_t is None and t > crash_t and "grow:" in desc and "active" in desc:
+            repaired_t = t
+    completed = col.completed_requests
+    attempted = completed + col.failed_requests
+    return {
+        "crash_at_s": crash_t,
+        "detect_latency_s": (
+            detect_t - crash_t if detect_t is not None else float("nan")
+        ),
+        "mttr_s": (
+            repaired_t - crash_t if repaired_t is not None else float("nan")
+        ),
+        "availability": completed / attempted if attempted else 1.0,
+    }
+
+
 def cmd_recovery(args: argparse.Namespace) -> int:
     duration = max(900.0 * args.scale, args.crash_at + 300.0)
     config = ExperimentConfig(
@@ -506,6 +585,19 @@ def cmd_recovery(args: argparse.Namespace) -> int:
     system.kernel.schedule_at(args.crash_at, victim.node.crash)
     system.run()
     _print_summary(system)
+    metrics = _recovery_metrics(system, args.crash_at)
+    print("\nRecovery")
+    print(
+        f"  detection latency  : {metrics['detect_latency_s']:.1f} s"
+        if metrics["detect_latency_s"] == metrics["detect_latency_s"]
+        else "  detection latency  : n/a (failure not detected)"
+    )
+    print(
+        f"  MTTR               : {metrics['mttr_s']:.1f} s"
+        if metrics["mttr_s"] == metrics["mttr_s"]
+        else "  MTTR               : n/a (replica not repaired)"
+    )
+    print(f"  availability       : {metrics['availability'] * 100:.2f} %")
     _print_trace_note(system)
     controller = system.cjdbc.content.controller
     backends = controller.enabled_backends()
@@ -515,7 +607,77 @@ def cmd_recovery(args: argparse.Namespace) -> int:
         f"(digests identical: {len(digests) == 1})"
     )
     if args.csv:
-        _write_csv(system, args.csv)
+        _write_csv(system, args.csv, extra={"recovery": metrics})
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.chaos import (
+        PRESETS,
+        campaign_config,
+        render_scorecard,
+        score_campaign,
+        scorecard_json,
+    )
+    from repro.runner import ExperimentRunner, ResultCache
+
+    campaign = PRESETS[args.campaign]()
+    if args.detector is not None:
+        campaign = dataclasses.replace(campaign, detector=args.detector)
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+    if not seeds:
+        print("error: --seeds is empty", file=sys.stderr)
+        return 2
+    print(
+        f"Campaign '{campaign.name}' (detector: {campaign.detector}): "
+        f"{len(campaign.faults)} fault spec(s), "
+        f"{args.clients} clients x {args.duration:.0f}s, "
+        f"seeds {', '.join(str(s) for s in seeds)}..."
+    )
+    runner = ExperimentRunner(
+        max_workers=args.workers,
+        cache=None if args.no_cache else ResultCache(),
+        parallel=not args.serial,
+    )
+    runs = runner.run_seeds(
+        lambda seed: campaign_config(
+            campaign, seed=seed, clients=args.clients, duration_s=args.duration
+        ),
+        seeds,
+        prefix=f"chaos-{campaign.name}",
+    )
+    if runner.cache is not None:
+        print(
+            f"  cache: {runner.cache.hits} hits / {runner.cache.misses} misses"
+        )
+    scorecard = score_campaign(
+        campaign, [runs[s] for s in seeds], slo_latency_s=args.slo
+    )
+    print()
+    for line in render_scorecard(scorecard):
+        print(line)
+    if args.events:
+        for seed in seeds:
+            chaos = runs[seed].chaos
+            print(f"\nSeed {seed} events")
+            for event in chaos.events:
+                where = event["node"] or "lan"
+                detail = f" {event['detail']}" if event["detail"] else ""
+                print(
+                    f"  t={event['t']:7.1f}s  inject {event['fault']} on "
+                    f"{where}{detail}"
+                )
+            for det in chaos.detections:
+                print(
+                    f"  t={det['t']:7.1f}s  detect {det['component']} "
+                    f"[{det['tier']}] via {det['reason']}"
+                )
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(scorecard_json(scorecard))
+        print(f"\nScorecard written to {args.json}")
     return 0
 
 
@@ -710,6 +872,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "ramp": cmd_ramp,
         "steady": cmd_steady,
         "recovery": cmd_recovery,
+        "chaos": cmd_chaos,
         "whatif": cmd_whatif,
         "sweep": cmd_sweep,
         "cache": cmd_cache,

@@ -3,7 +3,9 @@
 Used by the self-recovery experiments (the paper's Fig. 3 shows a
 self-recovery manager alongside self-optimization; the repair algorithm is
 the one of Bouchenak et al., SRDS 2005).  Supports deterministic one-shot
-crashes and a Poisson crash process over a set of nodes.
+crashes and a Poisson crash process over a set of nodes.  Richer fault
+shapes (fail-slow, gray, partitions, correlated outages) live in
+:mod:`repro.chaos`.
 """
 
 from __future__ import annotations
@@ -13,7 +15,24 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.cluster.node import Node
-from repro.simulation.kernel import PeriodicTask, SimKernel
+from repro.simulation.kernel import Event, SimKernel
+
+
+class PoissonCrashProcess:
+    """Cancellable handle for one self-rescheduling Poisson crash stream."""
+
+    __slots__ = ("_next_event", "cancelled")
+
+    def __init__(self) -> None:
+        self._next_event: Optional[Event] = None
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Stop the stream; the already-scheduled arrival never fires."""
+        self.cancelled = True
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
 
 
 class FailureInjector:
@@ -23,15 +42,16 @@ class FailureInjector:
         self.kernel = kernel
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.crashes_injected = 0
-        self._poisson_tasks: list[PeriodicTask] = []
+        self._one_shots: list[Event] = []
+        self._poisson_processes: list[PoissonCrashProcess] = []
 
     def crash_at(self, node: Node, time: float) -> None:
         """Crash ``node`` at absolute simulated ``time``."""
-        self.kernel.schedule_at(time, self._crash, node)
+        self._one_shots.append(self.kernel.schedule_at(time, self._crash, node))
 
     def crash_after(self, node: Node, delay: float) -> None:
         """Crash ``node`` after ``delay`` seconds."""
-        self.kernel.schedule(delay, self._crash, node)
+        self._one_shots.append(self.kernel.schedule(delay, self._crash, node))
 
     def _crash(self, node: Node) -> None:
         if node.up:
@@ -43,39 +63,57 @@ class FailureInjector:
         nodes: Sequence[Node],
         mtbf_s: float,
         victim_filter: Optional[Callable[[Node], bool]] = None,
-        check_period_s: float = 1.0,
-    ) -> PeriodicTask:
+    ) -> PoissonCrashProcess:
         """Crash a uniformly-random eligible node with exponential
         inter-arrival times of mean ``mtbf_s``.
 
-        Implemented as a Bernoulli approximation evaluated every
-        ``check_period_s`` (exact in the limit of small periods).  Returns
-        the periodic task so callers can cancel the process.
+        Sampling is *exact*: each arrival draws its inter-arrival delay
+        from ``rng.exponential(mtbf_s)`` and self-reschedules through
+        ``kernel.schedule`` — no per-tick Bernoulli approximation, no
+        periodic wake-ups between arrivals.
+
+        RNG stream semantics: the injector's generator is consumed in
+        arrival order — one ``exponential`` draw when an arrival is
+        scheduled (the first at creation, each next when the previous
+        fires), then one ``integers`` draw per arrival that finds at
+        least one eligible victim.  An arrival with no eligible victim
+        consumes no victim draw.
+
+        Returns a :class:`PoissonCrashProcess` so callers can cancel the
+        stream (``stop`` cancels all of them).
         """
         if mtbf_s <= 0:
             raise ValueError("mtbf must be positive")
-        p = 1.0 - float(np.exp(-check_period_s / mtbf_s))
         nodes = list(nodes)
+        process = PoissonCrashProcess()
 
-        def maybe_crash() -> None:
-            if self.rng.random() >= p:
+        def fire() -> None:
+            if process.cancelled:  # defensive: cancel() tombstones anyway
                 return
             candidates = [
                 n
                 for n in nodes
                 if n.up and (victim_filter is None or victim_filter(n))
             ]
-            if not candidates:
-                return
-            victim = candidates[int(self.rng.integers(len(candidates)))]
-            self._crash(victim)
+            if candidates:
+                victim = candidates[int(self.rng.integers(len(candidates)))]
+                self._crash(victim)
+            arm()
 
-        task = self.kernel.every(check_period_s, maybe_crash)
-        self._poisson_tasks.append(task)
-        return task
+        def arm() -> None:
+            delay = float(self.rng.exponential(mtbf_s))
+            process._next_event = self.kernel.schedule(delay, fire)
+
+        arm()
+        self._poisson_processes.append(process)
+        return process
 
     def stop(self) -> None:
-        """Cancel all ongoing random crash processes."""
-        for task in self._poisson_tasks:
-            task.cancel()
-        self._poisson_tasks.clear()
+        """Cancel everything still pending: the random crash processes and
+        any not-yet-fired one-shot ``crash_at``/``crash_after`` events."""
+        for process in self._poisson_processes:
+            process.cancel()
+        self._poisson_processes.clear()
+        for event in self._one_shots:
+            event.cancel()
+        self._one_shots.clear()

@@ -10,9 +10,22 @@ sync) non-zero and tunable.
 
 from __future__ import annotations
 
+from typing import Iterable
+
+
+def _names(group: Iterable) -> frozenset[str]:
+    """Normalize a group of nodes (or node names) to a name set."""
+    return frozenset(getattr(member, "name", member) for member in group)
+
 
 class Lan:
-    """Uniform switched LAN."""
+    """Uniform switched LAN.
+
+    Chaos hooks: ``set_extra_latency`` models a degraded switch (the added
+    delay applies to every message and transfer until cleared), and
+    ``partition``/``reachable``/``heal`` keep partition bookkeeping so
+    experiments can both cut groups apart and query the current topology.
+    """
 
     def __init__(
         self,
@@ -29,6 +42,9 @@ class Lan:
         self.name = name
         self.messages_total = 0
         self.bytes_total = 0.0
+        #: chaos: additional per-message/transfer delay (degraded switch)
+        self.extra_latency_s = 0.0
+        self._partitions: list[tuple[frozenset[str], frozenset[str]]] = []
 
     def message_delay(self, payload_kb: float = 1.0) -> float:
         """One-way delay for a small message of ``payload_kb`` kilobytes."""
@@ -37,14 +53,57 @@ class Lan:
         self.messages_total += 1
         self.bytes_total += payload_kb * 1024.0
         # 100 Mbps = 12.5 MB/s = 12800 KB/s
-        return self.latency_s + payload_kb / (self.bandwidth_mbps * 128.0)
+        return (
+            self.latency_s
+            + self.extra_latency_s
+            + payload_kb / (self.bandwidth_mbps * 128.0)
+        )
 
     def transfer_time(self, size_mb: float) -> float:
         """Time to ship a bulk payload of ``size_mb`` megabytes."""
         if size_mb < 0:
             raise ValueError("size must be >= 0")
         self.bytes_total += size_mb * 1024.0 * 1024.0
-        return self.latency_s + size_mb * 8.0 / self.bandwidth_mbps
+        return (
+            self.latency_s
+            + self.extra_latency_s
+            + size_mb * 8.0 / self.bandwidth_mbps
+        )
+
+    # ------------------------------------------------------------------
+    # Chaos hooks
+    # ------------------------------------------------------------------
+    def set_extra_latency(self, extra_s: float) -> None:
+        """Add ``extra_s`` to every delay (0 restores the healthy switch)."""
+        if extra_s < 0:
+            raise ValueError("extra latency must be >= 0")
+        self.extra_latency_s = extra_s
+
+    def partition(self, group_a: Iterable, group_b: Iterable) -> None:
+        """Cut ``group_a`` from ``group_b`` (nodes or node names)."""
+        a, b = _names(group_a), _names(group_b)
+        if a & b:
+            raise ValueError("partition groups must be disjoint")
+        self._partitions.append((a, b))
+
+    def reachable(self, a, b) -> bool:
+        """Can ``a`` talk to ``b`` under the current partitions?"""
+        name_a = getattr(a, "name", a)
+        name_b = getattr(b, "name", b)
+        for left, right in self._partitions:
+            if (name_a in left and name_b in right) or (
+                name_a in right and name_b in left
+            ):
+                return False
+        return True
+
+    def heal(self) -> None:
+        """Remove every partition."""
+        self._partitions.clear()
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._partitions)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Lan({self.bandwidth_mbps} Mbps, {self.latency_s * 1e3:.2f} ms)"

@@ -30,6 +30,14 @@ class NodeDown(RuntimeError):
     """Raised when using a crashed node, and delivered to aborted jobs."""
 
 
+class NodeIsolated(RuntimeError):
+    """Delivered to jobs lost on a network-partitioned node.
+
+    Unlike :class:`NodeDown` the node itself is healthy — it keeps
+    answering heartbeats (``up`` stays True) — but work sent to it is
+    lost until the partition heals."""
+
+
 class Node:
     """One machine of the simulated cluster."""
 
@@ -55,6 +63,8 @@ class Node:
         self.per_job_mb = per_job_mb
         self.fs = NodeFilesystem()
         self.up = True
+        #: network-partitioned: heartbeats still answer but work is lost
+        self.isolated = False
         self._footprints: dict[str, float] = {}
         self._crash_listeners: list[Callable[["Node"], None]] = []
         # Utilization sampling bookkeeping (used by probes).
@@ -72,8 +82,38 @@ class Node:
         if not self.up:
             raise NodeDown(self.name)
         job = CpuJob(self.kernel, demand, tag=tag, weight=weight)
+        if self.isolated:
+            # The caller cannot tell an isolated node from a healthy one
+            # (that is the point of a partition): the job is accepted and
+            # fails asynchronously, like a timed-out RPC.  Callbacks added
+            # after this fire via the kernel (see Signal.add_callback).
+            job.done.fail(NodeIsolated(self.name))
+            return job
         self.cpu.submit(job)
         return job
+
+    def degrade(self, factor: float) -> None:
+        """Fail-slow hook: deliver only ``factor`` of nominal CPU speed."""
+        self.cpu.set_degradation(factor)
+
+    def restore(self) -> None:
+        """Clear any fail-slow degradation (back to full speed)."""
+        self.cpu.set_degradation(1.0)
+
+    # ------------------------------------------------------------------
+    # Network partition (gray from the heartbeat's point of view)
+    # ------------------------------------------------------------------
+    def isolate(self) -> None:
+        """Partition the node: in-flight work is lost, new work fails, but
+        the node still answers heartbeats (``up`` stays True)."""
+        if not self.up or self.isolated:
+            return
+        self.isolated = True
+        self.cpu.abort_all(NodeIsolated(self.name))
+
+    def heal(self) -> None:
+        """Reconnect an isolated node."""
+        self.isolated = False
 
     def cpu_utilization_since_last_sample(self) -> float:
         """Fraction of time the CPU was busy since the previous call.
@@ -143,6 +183,8 @@ class Node:
         if self.up:
             return
         self.up = True
+        self.isolated = False
+        self.cpu.set_degradation(1.0)
         self.fs = NodeFilesystem()
         self._footprints.clear()
 

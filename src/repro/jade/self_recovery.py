@@ -47,6 +47,10 @@ class SelfRecoveryManager:
         self._retry_task: Optional[PeriodicTask] = None
         self.failures_seen = 0
         self.repairs_started = 0
+        #: optional progress-based detector (see ``attach_detector``)
+        self.detector = None
+        #: plain-data detection log: {"t", "component", "tier", "reason"}
+        self.detections: list[dict] = []
         #: optional decision tracer (set by the assembled system)
         self.tracer = None
         # The manager is itself a component (Jade administrates itself).
@@ -68,16 +72,43 @@ class SelfRecoveryManager:
         return None
 
     # ------------------------------------------------------------------
+    def attach_detector(self, detector) -> None:
+        """Add a progress-based failure detector (e.g. the phi-accrual
+        detector of :mod:`repro.chaos.detectors`) whose suspicions feed
+        the same repair path as heartbeat failures.  The detector is
+        started/stopped with the manager and administrated as a
+        sub-component, like the heartbeat sensor."""
+        self.detector = detector
+        detector.subscribe(self._on_suspicion)
+        self.composite.content_controller.add(
+            Component("recovery-detector", content=detector)
+        )
+
     def _on_failure(self, server: object) -> None:
+        self._handle_failure(server, "heartbeat")
+
+    def _on_suspicion(self, server: object, phi: float, reason: str) -> None:
+        self._handle_failure(server, f"detector:{reason}")
+
+    def _handle_failure(self, server: object, reason: str) -> None:
         located = self._tier_of(server)
         if located is None:
             return  # already repaired or not ours
         tier, component = located
         self.failures_seen += 1
+        self.detections.append(
+            {
+                "t": self.kernel.now,
+                "component": component.name,
+                "tier": tier.tier_name,
+                "reason": reason,
+            }
+        )
         if self.collector is not None:
+            suffix = "" if reason == "heartbeat" else f" ({reason})"
             self.collector.record_reconfiguration(
                 self.kernel.now,
-                f"[recovery] detected failure of {component.name}",
+                f"[recovery] detected failure of {component.name}{suffix}",
             )
         if self.tracer is not None:
             node = getattr(server, "node", None)
@@ -86,7 +117,7 @@ class SelfRecoveryManager:
                     self.kernel.now,
                     node=node.name if node is not None else "",
                     owner=f"tier:{tier.tier_name}",
-                    reason="heartbeat",
+                    reason=reason,
                 )
             )
             self.tracer.push_cause(seq)
@@ -122,11 +153,15 @@ class SelfRecoveryManager:
     def start(self) -> None:
         self.composite.start()
         self.sensor.on_start()
+        if self.detector is not None:
+            self.detector.on_start()
         if self._retry_task is None:
             self._retry_task = self.kernel.every(self.retry_period_s, self._retry)
 
     def stop(self) -> None:
         self.sensor.on_stop()
+        if self.detector is not None:
+            self.detector.on_stop()
         self.composite.stop()
         if self._retry_task is not None:
             self._retry_task.cancel()

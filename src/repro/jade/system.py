@@ -53,6 +53,7 @@ from repro.workload.profiles import RampProfile, WorkloadProfile
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.capacity.proactive import ProactiveConfig
+    from repro.chaos.campaign import ChaosCampaign
 
 #: ADL description of the initial RUBiS deployment (§5.2: "Initially, the
 #: J2EE system is deployed with one application server (Tomcat) and one
@@ -111,6 +112,10 @@ class ExperimentConfig:
     proactive: bool = False
     #: knobs of the proactive planning loop (None = defaults)
     proactive_config: Optional["ProactiveConfig"] = None
+    #: chaos campaign injected during the run (extension; see
+    #: ``repro.chaos`` — a picklable fault schedule, so chaos runs are
+    #: cacheable and fan out across seeds like any other experiment)
+    chaos: Optional["ChaosCampaign"] = None
     #: sample node CPU/memory every second (Table 1)
     sample_nodes: bool = True
     #: extra simulated time after the profile ends (lets requests drain)
@@ -292,6 +297,29 @@ class ManagedSystem:
                 collector=self.collector,
             )
 
+        # --- chaos injection (extension) ---------------------------------
+        # Wired like the proactive manager: lazily imported, sharing the
+        # seeded RNG streams (its own "chaos" stream) so a campaign is
+        # reproducible from the experiment seed.
+        self.chaos = None
+        if cfg.chaos is not None:
+            from repro.chaos.faults import ChaosInjector
+
+            self.chaos = ChaosInjector(
+                self, cfg.chaos, rng=self.streams.get("chaos")
+            )
+            if cfg.chaos.detector == "phi" and self.recovery is not None:
+                from repro.chaos.detectors import PhiAccrualDetector
+
+                self.recovery.attach_detector(
+                    PhiAccrualDetector(
+                        self.kernel,
+                        self.recovery._all_servers,
+                        threshold=cfg.chaos.phi_threshold,
+                        failfast_ticks=cfg.chaos.failfast_ticks,
+                    )
+                )
+
         # --- tier CPU recording for Figures 6 & 7 --------------------------
         # With Jade, the real probes' readings are recorded; without Jade a
         # *passive* measurement probe (zero CPU cost — it models the
@@ -408,6 +436,10 @@ class ManagedSystem:
             probe.tracer = tracer
         if self.recovery is not None:
             self.recovery.tracer = tracer
+            if self.recovery.detector is not None:
+                self.recovery.detector.tracer = tracer
+        if self.chaos is not None:
+            self.chaos.tracer = tracer
         if self.proactive is not None:
             self.proactive.tracer = tracer
             self.proactive.inhibition.tracer = tracer
@@ -459,6 +491,8 @@ class ManagedSystem:
             self.recovery.start()
         if self.proactive is not None:
             self.proactive.on_start()
+        if self.chaos is not None:
+            self.chaos.start()
         if cfg.sample_nodes:
             self._sampling_task = self.kernel.every(1.0, self._sample_nodes)
         for probe in self._passive_probes:
@@ -476,6 +510,8 @@ class ManagedSystem:
             self.recovery.stop()
         if self.proactive is not None:
             self.proactive.on_stop()
+        if self.chaos is not None:
+            self.chaos.stop()
         if self.tracer is not None:
             self.tracer.emit(
                 KernelStats(

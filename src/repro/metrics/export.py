@@ -63,11 +63,14 @@ def to_json_dict(
     horizon_s: Optional[float] = None,
     tracer=None,
     seed: Optional[int] = None,
+    extra: Optional[dict] = None,
 ) -> dict:
     """A JSON-serializable report of the run.  When a decision ``tracer``
     is supplied, its per-run summary (event counts, decisions by reason,
     reconfiguration durations) is included under ``"trace"``; ``seed``
-    records the experiment seed so the run can be replayed exactly."""
+    records the experiment seed so the run can be replayed exactly.
+    ``extra`` merges caller-computed top-level sections (e.g. the
+    recovery command's MTTR/availability block)."""
     stats = collector.latency_summary()
     report = {
         "requests": {
@@ -88,6 +91,8 @@ def to_json_dict(
         report["throughput_rps"] = collector.throughput(0.0, horizon_s)
     if tracer is not None:
         report["trace"] = tracer.summary()
+    if extra:
+        report.update(extra)
     return report
 
 
@@ -97,10 +102,11 @@ def write_json(
     horizon_s: Optional[float] = None,
     tracer=None,
     seed: Optional[int] = None,
+    extra: Optional[dict] = None,
 ) -> None:
     with open(path, "w") as fh:
         json.dump(
-            to_json_dict(collector, horizon_s, tracer=tracer, seed=seed),
+            to_json_dict(collector, horizon_s, tracer=tracer, seed=seed, extra=extra),
             fh,
             indent=2,
         )

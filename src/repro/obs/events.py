@@ -213,6 +213,42 @@ class ProactiveDecision(TraceEvent):
 
 
 @dataclass(frozen=True)
+class FaultInjected(TraceEvent):
+    """The chaos injector applied one fault (``repro.chaos``)."""
+
+    kind: ClassVar[str] = "fault-injected"
+
+    fault: str         # "crash" | "slow" | "gray" | "partition" | ...
+    target: str        # node name(s), or "lan" for network-wide faults
+    tier: str = ""     # owning tier when the victim is a replica node
+    detail: str = ""   # e.g. "factor=0.02 for 120s"
+
+
+@dataclass(frozen=True)
+class FaultCleared(TraceEvent):
+    """A transient fault's duration elapsed and its effect was undone."""
+
+    kind: ClassVar[str] = "fault-cleared"
+
+    fault: str
+    target: str
+
+
+@dataclass(frozen=True)
+class DetectorSuspected(TraceEvent):
+    """The phi-accrual detector flagged a server as failed while the
+    legacy liveness checks (``running``/``node.up``) still pass."""
+
+    kind: ClassVar[str] = "detector-suspected"
+
+    detector: str
+    server: str
+    node: str
+    phi: float
+    reason: str        # "phi" (stalled progress) | "fail-fast"
+
+
+@dataclass(frozen=True)
 class KernelStats(TraceEvent):
     """Event-loop counters, emitted once at the end of a traced run."""
 
@@ -236,6 +272,9 @@ EVENT_KINDS = {
         NodeAllocated,
         NodeReleased,
         NodeFailed,
+        FaultInjected,
+        FaultCleared,
+        DetectorSuspected,
         ForecastIssued,
         WhatIfEvaluated,
         ProactiveDecision,

@@ -60,13 +60,80 @@ class ProactiveStats:
         self.decisions_suppressed = decisions_suppressed
 
 
+class ChaosStats:
+    """Plain-data distillate of a chaos campaign execution: the fault
+    log from the injector plus the recovery manager's detection log —
+    everything :mod:`repro.chaos.scorecard` reads."""
+
+    __slots__ = (
+        "campaign",
+        "detector",
+        "faults_injected",
+        "events",
+        "detections",
+        "failures_seen",
+        "repairs_started",
+        "pending_repairs",
+        "detector_suspicions",
+    )
+
+    def __init__(
+        self,
+        campaign: str,
+        detector: str,
+        faults_injected: int,
+        events: list,
+        detections: list,
+        failures_seen: int,
+        repairs_started: int,
+        pending_repairs: int,
+        detector_suspicions: int,
+    ) -> None:
+        self.campaign = campaign
+        self.detector = detector
+        self.faults_injected = faults_injected
+        self.events = events
+        self.detections = detections
+        self.failures_seen = failures_seen
+        self.repairs_started = repairs_started
+        self.pending_repairs = pending_repairs
+        self.detector_suspicions = detector_suspicions
+
+    @classmethod
+    def from_system(cls, system) -> Optional["ChaosStats"]:
+        injector = getattr(system, "chaos", None)
+        if injector is None:
+            return None
+        recovery = getattr(system, "recovery", None)
+        live_detector = getattr(recovery, "detector", None)
+        return cls(
+            campaign=injector.campaign.name,
+            detector=injector.campaign.detector,
+            faults_injected=injector.faults_injected,
+            events=list(injector.events),
+            detections=list(recovery.detections) if recovery is not None else [],
+            failures_seen=recovery.failures_seen if recovery is not None else 0,
+            repairs_started=recovery.repairs_started if recovery is not None else 0,
+            pending_repairs=recovery.pending_repairs if recovery is not None else 0,
+            detector_suspicions=(
+                live_detector.suspicions if live_detector is not None else 0
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ChaosStats({self.campaign}, {self.faults_injected} faults, "
+            f"{self.repairs_started} repairs)"
+        )
+
+
 class CompletedRun:
     """Everything an analysis needs from a finished experiment.
 
     Exposes the same read surface the benchmarks use on a live
     :class:`ManagedSystem` — ``collector``, ``config``, ``app_tier`` /
-    ``db_tier`` counters, optional ``proactive`` counters, and
-    :meth:`summary` — so the two are interchangeable downstream.
+    ``db_tier`` counters, optional ``proactive`` and ``chaos`` stats,
+    and :meth:`summary` — so the two are interchangeable downstream.
     """
 
     __slots__ = (
@@ -75,6 +142,7 @@ class CompletedRun:
         "app_tier",
         "db_tier",
         "proactive",
+        "chaos",
         "events_processed",
         "wall_time_s",
     )
@@ -88,12 +156,14 @@ class CompletedRun:
         proactive: Optional[ProactiveStats],
         events_processed: int,
         wall_time_s: float,
+        chaos: Optional[ChaosStats] = None,
     ) -> None:
         self.config = config
         self.collector = collector
         self.app_tier = app_tier
         self.db_tier = db_tier
         self.proactive = proactive
+        self.chaos = chaos
         self.events_processed = events_processed
         self.wall_time_s = wall_time_s
 
@@ -113,6 +183,7 @@ class CompletedRun:
         return cls(
             config=system.config,
             collector=system.collector,
+            chaos=ChaosStats.from_system(system),
             app_tier=TierStats(
                 "application",
                 system.app_tier.grows_completed,

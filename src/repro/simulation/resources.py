@@ -134,6 +134,11 @@ class CpuResource:
         self.kernel = kernel
         self.speed = speed
         self.name = name
+        #: fail-slow / gray-failure hook: fraction of nominal speed actually
+        #: delivered (1.0 = healthy).  ``_espeed`` caches ``speed *
+        #: degradation`` — it is what every rate computation reads.
+        self.degradation = 1.0
+        self._espeed = speed
         self.busy_integral = 0.0  # cumulative seconds with >=1 active job
         self.completed = 0
         self.service_delivered = 0.0  # cumulative CPU-seconds of demand served
@@ -149,6 +154,20 @@ class CpuResource:
 
     def abort_all(self, error: Optional[BaseException] = None) -> int:
         raise NotImplementedError
+
+    # -- degradation (fail-slow / gray failures) ------------------------
+    def set_degradation(self, factor: float) -> None:
+        """Scale the delivered speed by ``factor`` (1.0 restores health).
+
+        Busy-time accounting is settled at the old rate first, so a probe
+        sampling across the change sees correct utilization.  Subclasses
+        with in-flight completion schedules must also resettle those.
+        """
+        if factor <= 0:
+            raise ValueError("degradation factor must be positive")
+        self._advance_accounting()
+        self.degradation = factor
+        self._espeed = self.speed * factor
 
     # -- utilization sampling -------------------------------------------
     def busy_time(self) -> float:
@@ -214,7 +233,23 @@ class PsCpu(CpuResource):
         n = self._live
         if n == 0:
             return 0.0
-        return self.speed * self.capacity_model(n) / n
+        return self._espeed * self.capacity_model(n) / n
+
+    def set_degradation(self, factor: float) -> None:
+        """Degrade (or restore) the delivered speed mid-stream.
+
+        Virtual time is advanced at the *old* rate before the switch, then
+        the pending completion wake-up is recomputed at the new rate — jobs
+        already in service finish later (or earlier, on restore) by exactly
+        the remaining-demand ratio.
+        """
+        if factor <= 0:
+            raise ValueError("degradation factor must be positive")
+        self._advance_accounting()
+        self._advance_virtual()
+        self.degradation = factor
+        self._espeed = self.speed * factor
+        self._reschedule_completion()
 
     def _advance_virtual(self) -> None:
         now = self.kernel.now
@@ -236,9 +271,9 @@ class PsCpu(CpuResource):
             n = self._live
             if n:
                 rate = (
-                    self.speed / n
+                    self._espeed / n
                     if self._ideal
-                    else self.speed * self.capacity_model(n) / n
+                    else self._espeed * self.capacity_model(n) / n
                 )
                 self._vnow += (now - self._vlast) * rate
         self._vlast = now
@@ -257,7 +292,9 @@ class PsCpu(CpuResource):
         # pending wake; otherwise the (now early) wake recomputes lazily.
         n = self._live
         rate = (
-            self.speed / n if self._ideal else self.speed * self.capacity_model(n) / n
+            self._espeed / n
+            if self._ideal
+            else self._espeed * self.capacity_model(n) / n
         )
         wake = now + (self._heap[0][0] - self._vnow) / rate
         if wake < self._wake_at:
@@ -297,9 +334,9 @@ class PsCpu(CpuResource):
             n = self._live
             if n:
                 rate = (
-                    self.speed / n
+                    self._espeed / n
                     if self._ideal
-                    else self.speed * self.capacity_model(n) / n
+                    else self._espeed * self.capacity_model(n) / n
                 )
                 vnow += (now - self._vlast) * rate
                 self._vnow = vnow
@@ -326,9 +363,9 @@ class PsCpu(CpuResource):
         if heap:
             n = self._live
             rate = (
-                self.speed / n
+                self._espeed / n
                 if self._ideal
-                else self.speed * self.capacity_model(n) / n
+                else self._espeed * self.capacity_model(n) / n
             )
             wake = now + (heap[0][0] - vnow) / rate
             if wake < now:
@@ -408,7 +445,7 @@ class FifoCpu(CpuResource):
             return
         job = self._queue.popleft()
         self._in_service = job
-        rate = self.speed * self.capacity_model(self.active_jobs)
+        rate = self._espeed * self.capacity_model(self.active_jobs)
         service_time = job.demand / rate
         self._completion_event = self.kernel.schedule(
             service_time, self._complete, job

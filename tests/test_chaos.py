@@ -1,0 +1,471 @@
+"""Tests for the chaos subsystem: fault models, campaigns, the
+phi-accrual detector and the resilience scorecard."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.chaos import (
+    PRESETS,
+    ChaosCampaign,
+    FaultSpec,
+    PhiAccrualDetector,
+    campaign_config,
+    score_campaign,
+    score_run,
+    scorecard_json,
+)
+from repro.chaos import faults as F
+from repro.cluster import Lan, make_nodes
+from repro.cluster.failures import FailureInjector
+from repro.cluster.node import NodeIsolated
+from repro.jade.system import ManagedSystem
+from repro.runner import CompletedRun, ExperimentRunner, ResultCache
+from repro.simulation import CpuJob, FifoCpu, PsCpu
+
+
+# ----------------------------------------------------------------------
+# CPU degradation (the fail-slow / gray hook)
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_ps_mid_service_degrade_stretches_completion(self, kernel):
+        cpu = PsCpu(kernel)
+        job = CpuJob(kernel, 1.0)
+        cpu.submit(job)
+        # Half the demand is served by t=0.5; the rest at half speed
+        # takes 1.0s more: completion at 1.5 instead of 1.0.
+        kernel.schedule_at(0.5, cpu.set_degradation, 0.5)
+        kernel.run()
+        assert job.completed_at == pytest.approx(1.5)
+
+    def test_ps_restore_mid_service(self, kernel):
+        cpu = PsCpu(kernel)
+        job = CpuJob(kernel, 1.0)
+        cpu.submit(job)
+        kernel.schedule_at(0.5, cpu.set_degradation, 0.5)
+        kernel.schedule_at(1.0, cpu.set_degradation, 1.0)
+        kernel.run()
+        # [0,0.5] serves 0.5, [0.5,1.0] serves 0.25, remaining 0.25 at
+        # full speed: completion at 1.25.
+        assert job.completed_at == pytest.approx(1.25)
+
+    def test_ps_degrade_shares_correctly(self, kernel):
+        cpu = PsCpu(kernel)
+        cpu.set_degradation(0.5)
+        a, b = CpuJob(kernel, 1.0), CpuJob(kernel, 1.0)
+        cpu.submit(a)
+        cpu.submit(b)
+        kernel.run()
+        # Two equal jobs at half speed: each effectively served at 0.25/s.
+        assert a.completed_at == pytest.approx(4.0)
+        assert b.completed_at == pytest.approx(4.0)
+
+    def test_fifo_degradation_scales_service(self, kernel):
+        cpu = FifoCpu(kernel)
+        cpu.set_degradation(0.25)
+        job = CpuJob(kernel, 1.0)
+        cpu.submit(job)
+        kernel.run()
+        assert job.completed_at == pytest.approx(4.0)
+
+    def test_degradation_must_be_positive(self, kernel):
+        cpu = PsCpu(kernel)
+        with pytest.raises(ValueError):
+            cpu.set_degradation(0.0)
+        with pytest.raises(ValueError):
+            cpu.set_degradation(-1.0)
+
+    def test_node_degrade_and_restore(self, kernel):
+        (node,) = make_nodes(kernel, 1)
+        node.degrade(0.5)
+        assert node.cpu.degradation == 0.5
+        node.restore()
+        assert node.cpu.degradation == 1.0
+
+    def test_reboot_clears_degradation(self, kernel):
+        (node,) = make_nodes(kernel, 1)
+        node.degrade(0.1)
+        node.crash()
+        node.reboot()
+        assert node.cpu.degradation == 1.0
+
+
+# ----------------------------------------------------------------------
+# Network partitions and node isolation
+# ----------------------------------------------------------------------
+class TestIsolation:
+    def test_isolated_node_fails_jobs_async(self, kernel):
+        (node,) = make_nodes(kernel, 1)
+        node.isolate()
+        assert node.isolated
+        job = node.run_job(1.0)
+        errors = []
+        job.done.add_callback(lambda s: errors.append(s.error))
+        kernel.run()
+        assert isinstance(errors[0], NodeIsolated)
+
+    def test_isolate_aborts_inflight_work(self, kernel):
+        (node,) = make_nodes(kernel, 1)
+        job = node.run_job(10.0)
+        errors = []
+        job.done.add_callback(lambda s: errors.append(s.error))
+        kernel.schedule(1.0, node.isolate)
+        kernel.run()
+        assert isinstance(errors[0], NodeIsolated)
+
+    def test_heal_restores_service(self, kernel):
+        (node,) = make_nodes(kernel, 1)
+        node.isolate()
+        node.heal()
+        assert not node.isolated
+        job = node.run_job(1.0)
+        kernel.run()
+        assert job.completed_at == pytest.approx(1.0)
+
+    def test_reboot_clears_isolation(self, kernel):
+        (node,) = make_nodes(kernel, 1)
+        node.isolate()
+        node.crash()
+        node.reboot()
+        assert not node.isolated
+
+
+class TestLanChaos:
+    def test_extra_latency_applies_to_messages_and_transfers(self):
+        lan = Lan(latency_s=0.001)
+        base_msg = lan.message_delay(1.0)
+        base_xfer = lan.transfer_time(1.0)
+        lan.set_extra_latency(0.05)
+        assert lan.message_delay(1.0) == pytest.approx(base_msg + 0.05)
+        assert lan.transfer_time(1.0) == pytest.approx(base_xfer + 0.05)
+        lan.set_extra_latency(0.0)
+        assert lan.message_delay(1.0) == pytest.approx(base_msg)
+
+    def test_extra_latency_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            Lan().set_extra_latency(-0.1)
+
+    def test_partition_bookkeeping(self, kernel):
+        a, b, c = make_nodes(kernel, 3)
+        lan = Lan()
+        lan.partition([a], [b])
+        assert not lan.reachable(a, b)
+        assert not lan.reachable(b, a)
+        assert lan.reachable(a, c)  # c is in neither group
+        assert lan.partitioned
+        lan.heal()
+        assert lan.reachable(a, b)
+        assert not lan.partitioned
+
+    def test_partition_groups_must_be_disjoint(self, kernel):
+        a, b = make_nodes(kernel, 2)
+        with pytest.raises(ValueError):
+            Lan().partition([a, b], [b])
+
+
+# ----------------------------------------------------------------------
+# FailureInjector.stop() (one-shots must not outlive the injector)
+# ----------------------------------------------------------------------
+class TestFailureInjectorStop:
+    def test_stop_cancels_pending_one_shots(self, kernel):
+        nodes = make_nodes(kernel, 2)
+        injector = FailureInjector(kernel)
+        injector.crash_at(nodes[0], 100.0)
+        injector.crash_after(nodes[1], 150.0)
+        kernel.schedule_at(50.0, injector.stop)
+        kernel.run(until=300.0)
+        assert all(n.up for n in nodes)
+        assert injector.crashes_injected == 0
+
+    def test_stop_cancels_poisson_stream(self, kernel):
+        nodes = make_nodes(kernel, 10)
+        injector = FailureInjector(kernel)
+        injector.poisson_crashes(nodes, mtbf_s=5.0)
+        kernel.schedule_at(0.5, injector.stop)
+        kernel.run(until=1000.0)
+        assert injector.crashes_injected == 0
+
+    def test_fired_one_shots_are_safe_to_stop(self, kernel):
+        (node,) = make_nodes(kernel, 1)
+        injector = FailureInjector(kernel)
+        injector.crash_at(node, 10.0)
+        kernel.run(until=50.0)
+        assert not node.up
+        injector.stop()  # cancelling a fired event is a no-op
+        assert injector.crashes_injected == 1
+
+
+# ----------------------------------------------------------------------
+# Fault specs and campaigns (validation + picklability)
+# ----------------------------------------------------------------------
+class TestCampaignValues:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("meteor")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("crash", target="cache")
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("crash", at_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec("slow", duration_s=-1.0)
+
+    def test_degradation_severity_positive(self):
+        with pytest.raises(ValueError):
+            FaultSpec("gray", severity=0.0)
+
+    def test_poisson_needs_mtbf(self):
+        with pytest.raises(ValueError):
+            FaultSpec("poisson")
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosCampaign("bad", detector="oracle")
+
+    def test_faults_coerced_to_tuple(self):
+        campaign = ChaosCampaign("c", faults=[F.crash(10.0)])
+        assert isinstance(campaign.faults, tuple)
+
+    def test_campaign_pickles(self):
+        for factory in PRESETS.values():
+            campaign = factory()
+            clone = pickle.loads(pickle.dumps(campaign))
+            assert clone == campaign
+
+    def test_campaign_config_rides_the_cache_key(self):
+        from repro.runner.cache import describe_config
+
+        cfg_a = campaign_config(PRESETS["crash"](), seed=1)
+        cfg_b = campaign_config(PRESETS["gray"](), seed=1)
+        assert describe_config(cfg_a) != describe_config(cfg_b)
+
+
+# ----------------------------------------------------------------------
+# Phi-accrual detector (unit, against stub servers)
+# ----------------------------------------------------------------------
+class _StubCpu:
+    def __init__(self):
+        self.completed = 0
+        self.active_jobs = 0
+
+
+class _StubNode:
+    def __init__(self):
+        self.up = True
+        self.cpu = _StubCpu()
+        self.name = "stub-node"
+
+
+class _StubServer:
+    def __init__(self):
+        self.name = "stub-server"
+        self.running = True
+        self.node = _StubNode()
+        self.served = 0
+        self.failures = 0
+        self.pending = 0
+
+
+def _watch(kernel, server, **kwargs):
+    detector = PhiAccrualDetector(kernel, lambda: [server], **kwargs)
+    suspicions = []
+    detector.subscribe(lambda srv, phi, reason: suspicions.append((srv, phi, reason)))
+    detector.on_start()
+    return detector, suspicions
+
+
+class TestPhiAccrualDetector:
+    def test_stalled_server_is_suspected(self, kernel):
+        server = _StubServer()
+        detector, suspicions = _watch(kernel, server, threshold=4.0)
+
+        def healthy():
+            server.served += 1
+            server.node.cpu.completed += 1
+
+        for i in range(10):  # one completion per second until t=9.5
+            kernel.schedule_at(i + 0.5, healthy)
+
+        def stall():  # gray: work stuck on the node, nothing completes
+            server.pending = 5
+            server.node.cpu.active_jobs = 1
+
+        kernel.schedule_at(10.0, stall)
+        kernel.run(until=40.0)
+        assert len(suspicions) == 1
+        srv, phi, reason = suspicions[0]
+        assert srv is server
+        assert reason == "phi"
+        assert phi >= 4.0
+
+    def test_downstream_stall_is_not_suspected(self, kernel):
+        # A healthy app server waiting on a broken database: requests
+        # pile up, but its own CPU keeps completing slices.
+        server = _StubServer()
+        server.pending = 5
+        server.node.cpu.active_jobs = 0
+        _, suspicions = _watch(kernel, server, threshold=4.0)
+        kernel.schedule_at(0.0, lambda: None)
+        kernel.every(1.0, lambda: setattr(
+            server.node.cpu, "completed", server.node.cpu.completed + 1
+        ))
+        kernel.run(until=60.0)
+        assert suspicions == []
+
+    def test_idle_server_is_not_suspected(self, kernel):
+        server = _StubServer()  # pending == 0 throughout
+        _, suspicions = _watch(kernel, server, threshold=4.0)
+        kernel.schedule_at(100.0, lambda: None)  # keep the clock moving
+        kernel.run(until=100.0)
+        assert suspicions == []
+
+    def test_failfast_catches_erroring_frozen_node(self, kernel):
+        server = _StubServer()
+        _, suspicions = _watch(kernel, server, failfast_ticks=3)
+
+        def err():  # isolated node: errors advance, CPU frozen
+            server.failures += 1
+            server.pending = 2
+
+        kernel.every(1.0, err)
+        kernel.run(until=20.0)
+        assert len(suspicions) == 1
+        assert suspicions[0][2] == "fail-fast"
+
+    def test_failfast_gated_by_local_cpu_progress(self, kernel):
+        server = _StubServer()
+        _, suspicions = _watch(kernel, server, failfast_ticks=3)
+
+        def err_but_busy():  # relaying downstream errors, CPU alive
+            server.failures += 1
+            server.pending = 2
+            server.node.cpu.completed += 1
+
+        kernel.every(1.0, err_but_busy)
+        kernel.run(until=20.0)
+        assert suspicions == []
+
+    def test_dead_server_left_to_heartbeat(self, kernel):
+        server = _StubServer()
+        server.pending = 5
+        server.node.cpu.active_jobs = 1
+        detector, suspicions = _watch(kernel, server, threshold=4.0)
+        kernel.schedule_at(5.0, lambda: setattr(server.node, "up", False))
+        kernel.run(until=60.0)
+        assert suspicions == []
+        assert detector.suspicions == 0
+
+    def test_stop_halts_checks(self, kernel):
+        server = _StubServer()
+        detector, suspicions = _watch(kernel, server, threshold=4.0)
+        assert detector.running
+        detector.on_stop()
+        assert not detector.running
+        server.pending = 5
+        server.node.cpu.active_jobs = 1
+        kernel.schedule_at(100.0, lambda: None)
+        kernel.run(until=100.0)
+        assert suspicions == []
+
+
+# ----------------------------------------------------------------------
+# End-to-end campaigns (acceptance)
+# ----------------------------------------------------------------------
+def _run_campaign(campaign, seed=1, clients=60, duration_s=420.0):
+    cfg = campaign_config(campaign, seed=seed, clients=clients,
+                          duration_s=duration_s)
+    system = ManagedSystem(cfg)
+    system.run()
+    return CompletedRun.from_system(system, 0.0)
+
+
+class TestCampaignsEndToEnd:
+    def test_crash_campaign_is_repaired(self):
+        run = _run_campaign(PRESETS["crash"]())
+        assert run.chaos is not None
+        assert run.chaos.faults_injected == 1
+        assert run.chaos.repairs_started == 1
+        card = score_run(run)
+        assert card["repairs_completed"] == 1
+        assert card["unrepaired"] == 0
+        assert 0.0 < card["mttr_mean_s"] < 60.0
+        assert 0.0 < card["availability"] <= 1.0
+
+    def test_gray_failure_legacy_misses_phi_catches(self):
+        gray = PRESETS["gray"]()
+        legacy = _run_campaign(dataclasses.replace(gray, detector="legacy"))
+        phi = _run_campaign(gray)
+        # The legacy up-flag heartbeat never notices the crawling node.
+        assert legacy.chaos.repairs_started == 0
+        assert legacy.chaos.detections == []
+        # The phi-accrual detector suspects it and triggers the repair.
+        assert phi.chaos.repairs_started >= 1
+        assert phi.chaos.detections[0]["tier"] == "database"
+        assert phi.chaos.detections[0]["reason"].startswith("detector:")
+        # Recovering the replica restores goodput.
+        assert (
+            score_run(phi)["goodput_rps"] > score_run(legacy)["goodput_rps"]
+        )
+
+    def test_partition_campaign_detected_by_failfast(self):
+        run = _run_campaign(PRESETS["partition"]())
+        assert run.chaos.repairs_started >= 1
+        assert any(
+            d["reason"] == "detector:fail-fast" for d in run.chaos.detections
+        )
+
+    def test_correlated_campaign_crashes_a_rack(self):
+        run = _run_campaign(PRESETS["correlated"]())
+        assert run.chaos.faults_injected >= 2  # both tiers share rack 1%3
+        card = score_run(run)
+        assert card["repairs_completed"] == card["disruptions"]
+
+    def test_scorecard_identical_serial_parallel_cached(self, tmp_path):
+        campaign = PRESETS["crash"]()
+        seeds = (1, 2)
+
+        def make(seed):
+            return campaign_config(campaign, seed=seed, clients=60,
+                                   duration_s=420.0)
+
+        def card(runner):
+            runs = runner.run_seeds(make, seeds)
+            return scorecard_json(
+                score_campaign(campaign, [runs[s] for s in seeds])
+            )
+
+        serial = card(ExperimentRunner(parallel=False, cache=None))
+        cache = ResultCache(tmp_path / "cache")
+        parallel = card(ExperimentRunner(parallel=True, cache=cache))
+        assert cache.misses == len(seeds)
+        warm_cache = ResultCache(tmp_path / "cache")
+        cached = card(ExperimentRunner(parallel=True, cache=warm_cache))
+        assert warm_cache.hits == len(seeds)
+        assert serial == parallel
+        assert serial == cached
+
+    def test_scorecard_aggregates_with_ci(self):
+        campaign = PRESETS["crash"]()
+        runs = [_run_campaign(campaign, seed=s) for s in (1, 2)]
+        card = score_campaign(campaign, runs)
+        assert card["seeds"] == [1, 2]
+        agg = card["aggregate"]["mttr_mean_s"]
+        assert agg["n"] == 2
+        assert agg["mean"] > 0
+        assert agg["ci95"] >= 0
+        # Canonical JSON round-trips (NaN-free, stable key order).
+        import json
+
+        assert json.loads(scorecard_json(card))["campaign"] == "crash"
+
+    def test_chaos_stats_survive_pickling(self):
+        run = _run_campaign(PRESETS["crash"]())
+        clone = pickle.loads(pickle.dumps(run))
+        assert clone.chaos.faults_injected == run.chaos.faults_injected
+        assert scorecard_json(
+            score_campaign(PRESETS["crash"](), [clone])
+        ) == scorecard_json(score_campaign(PRESETS["crash"](), [run]))

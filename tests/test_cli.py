@@ -120,6 +120,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "digests identical: True" in out
         assert "detected failure" in out
+        assert "MTTR" in out
+        assert "detection latency" in out
+        assert "availability" in out
+
+    def test_recovery_csv_carries_mttr(self, tmp_path, capsys):
+        path = tmp_path / "rec.csv"
+        assert main(["recovery", "--clients", "30", "--crash-at", "100",
+                     "--scale", "0.5", "--csv", str(path)]) == 0
+        with open(tmp_path / "rec.json") as fh:
+            report = json.load(fh)
+        rec = report["recovery"]
+        assert rec["crash_at_s"] == 100.0
+        assert rec["mttr_s"] > 0
+        assert 0.0 < rec["availability"] <= 1.0
+
+    def test_chaos_options(self):
+        args = build_parser().parse_args(
+            ["chaos", "--campaign", "gray", "--detector", "legacy",
+             "--seeds", "4,5", "--clients", "50", "--duration", "300",
+             "--slo", "0.3", "--serial", "--no-cache", "--events",
+             "--json", "card.json"]
+        )
+        assert args.command == "chaos"
+        assert args.campaign == "gray"
+        assert args.detector == "legacy"
+        assert args.seeds == "4,5"
+        assert args.slo == 0.3
+        assert args.events
+        assert args.json == "card.json"
+
+    def test_chaos_rejects_unknown_campaign(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--campaign", "meteor"])
+
+    def test_chaos_campaign_prints_scorecard(self, tmp_path, capsys):
+        card_path = tmp_path / "card.json"
+        assert main(
+            ["chaos", "--campaign", "crash", "--seeds", "1", "--clients",
+             "40", "--duration", "300", "--serial", "--no-cache",
+             "--events", "--json", str(card_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Campaign 'crash'" in out
+        assert "MTTR" in out
+        assert "availability" in out
+        assert "inject crash" in out
+        with open(card_path) as fh:
+            card = json.load(fh)
+        assert card["campaign"] == "crash"
+        assert card["per_seed"][0]["repairs_completed"] == 1
 
     def test_csv_export_records_seed(self, tmp_path, capsys):
         path = tmp_path / "series.csv"

@@ -74,6 +74,52 @@ class TestSelfRecovery:
         assert system.recovery.pending_repairs >= 0  # retried, not crashed
         assert system.app_tier.grow_failures > 0
 
+    def test_retry_repairs_after_pool_frees_up(self):
+        # 5 nodes: 4 taken by the initial deployment, 1 free — which the
+        # DB grow consumes, so the app repair finds an exhausted pool.
+        system = make_system(pool_nodes=5)
+        kernel = system.kernel
+        system.recovery.start()
+        system.db_tier.grow()
+        kernel.run(until=60.0)
+        assert system.cluster.free_count == 0
+        victim_node = system.app_tier.replicas[0].node
+        kernel.schedule_at(100.0, victim_node.crash)
+        kernel.run(until=150.0)
+        # Repair started but could not grow: queued for retry.
+        assert system.app_tier.replica_count == 0
+        assert system.recovery.pending_repairs == 1
+        # Shrinking the DB tier frees a node; the periodic retry grows
+        # the app replica back without a fresh failure notification.
+        system.db_tier.shrink()
+        kernel.run(until=400.0)
+        assert system.app_tier.replica_count == 1
+        assert system.recovery.pending_repairs == 0
+        assert system.app_tier.replicas[0].node is not victim_node
+        assert system.app_tier.replicas[0].component.lifecycle_controller.is_started()
+
+    def test_simultaneous_failures_detected_in_tier_order(self):
+        system = make_system()
+        kernel = system.kernel
+        system.recovery.start()
+        system.db_tier.grow()
+        kernel.run(until=60.0)
+        app_node = system.app_tier.replicas[0].node
+        db_node = system.db_tier.replicas[-1].node
+        kernel.schedule_at(100.0, app_node.crash)
+        kernel.schedule_at(100.0, db_node.crash)
+        kernel.run(until=400.0)
+        # Both failures are seen in the same detection sweep and both
+        # repairs complete; the sweep walks tiers in registration order.
+        assert system.recovery.failures_seen == 2
+        detections = system.recovery.detections
+        assert [d["tier"] for d in detections] == ["application", "database"]
+        assert detections[0]["t"] == detections[1]["t"]
+        assert system.app_tier.replica_count == 1
+        assert system.db_tier.replica_count == 2
+        assert system.app_tier.repairs_completed == 1
+        assert system.db_tier.repairs_completed == 1
+
     def test_stopped_manager_does_not_repair(self):
         system = make_system()
         kernel = system.kernel
