@@ -1,6 +1,6 @@
 # Convenience targets for the Jade reproduction.
 
-.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check bench-whatif-check chaos-demo chaos-smoke figures examples trace-demo whatif-demo sweep-demo clean
+.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check bench-whatif-check chaos-demo chaos-smoke deploy-demo deploy-smoke figures examples trace-demo whatif-demo sweep-demo clean
 
 install:
 	pip install -e .
@@ -50,12 +50,29 @@ chaos-demo:
 chaos-smoke:
 	python benchmarks/bench_chaos.py --smoke
 
+# Zero-downtime deployment demo: a bad push caught by the canary and
+# rolled back automatically, then a clean crossover bounce with the
+# per-step event log, and the canonical scorecard.
+deploy-demo:
+	python -m repro deploy --scenario bad-push --seeds 1 --serial
+	python -m repro deploy --scenario clean-bounce --strategy crossover \
+		--seeds 1 --events --serial
+	python -m repro deploy --scenario bad-push --seeds 1,2,3 \
+		--json /tmp/repro-deploy.json
+	@echo "canonical scorecard: /tmp/repro-deploy.json"
+
+# Fast deployment gate used by CI: one-seed bad-push rollback +
+# crossover-vs-brutal assertions.
+deploy-smoke:
+	python benchmarks/bench_deploy.py --smoke
+
 # Engine benchmark: micro scenarios + multi-seed ramp pair through the
 # parallel cached runner; refreshes the committed BENCH_engine.json
-# (the chaos section is re-merged by its own benchmark).
+# (the chaos and deploy sections are re-merged by their own benchmarks).
 bench-engine:
 	python -m repro bench --out BENCH_engine.json
 	python benchmarks/bench_chaos.py --out BENCH_engine.json
+	python benchmarks/bench_deploy.py --out BENCH_engine.json
 
 # Perf gate used by CI: fail if the micro scenarios regress >25% against
 # the committed report.

@@ -1,0 +1,60 @@
+"""Deployment benchmark: bounce strategies and canary rollback.
+
+Runs the bad-push canary scenario (automatic rollback, post-rollback
+goodput within 5 % of the pre-push steady state) and the clean-bounce
+strategy comparison (``crossover`` keeps SLO violation seconds strictly
+below ``brutal``) across seeds.  ``python benchmarks/bench_deploy.py
+--out BENCH_engine.json`` merges the section into the committed engine
+report; ``--smoke`` is the fast CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.deploy.bench import check_section, render_section, run_deploy_section
+
+
+def bench_deploy_rollback(benchmark):
+    from benchmarks._shared import emit  # pytest puts the rootdir on sys.path
+
+    section = benchmark.pedantic(run_deploy_section, rounds=1, iterations=1)
+    emit("deploy", render_section(section))
+    check_section(section)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI gate: one seed, assertions only",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="merge the deploy section into this engine report "
+        "(e.g. BENCH_engine.json; other sections are preserved)",
+    )
+    parser.add_argument("--seeds", type=int, default=3, metavar="N",
+                        help="run seeds 1..N (default 3)")
+    parser.add_argument("--serial", action="store_true")
+    args = parser.parse_args(argv)
+
+    seeds = (1,) if args.smoke else tuple(range(1, args.seeds + 1))
+    section = run_deploy_section(seeds=seeds, parallel=not args.serial)
+    print(render_section(section))
+    check_section(section)
+    if args.out:
+        path = Path(args.out)
+        report = json.loads(path.read_text()) if path.exists() else {}
+        report["deploy"] = section
+        path.write_text(json.dumps(report, indent=2, default=float) + "\n")
+        print(f"\ndeploy section merged into {args.out}")
+    print("deploy-smoke: PASS" if args.smoke else "\ndeploy bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

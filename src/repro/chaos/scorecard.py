@@ -38,26 +38,58 @@ def _stats(values: Sequence[float]) -> dict[str, float]:
     return {"mean": mean, "ci95": ci, "n": len(clean)}
 
 
-def _repair_times(collector) -> dict[str, list[float]]:
-    """Repair-completion times per tier, from the reconfiguration log.
+def _repairs_by_node(collector) -> dict[str, list[tuple[float, str, float]]]:
+    """Completed repairs per tier as ``(start_t, failed_node, done_t)``.
 
+    A repair episode leaves two lines in the reconfiguration log: a
+    ``repair: <name> failed on <node>`` start (naming the *faulted* node)
+    and, later, a ``grow: <name> active on <node>`` completion (naming the
+    *replacement* node).  The tier's ``busy`` flag serializes grows, so
+    within a tier the k-th repair start pairs FIFO with the earliest
+    unused grow completion after it — this holds even when the recovery
+    manager's retry loop re-issues a grow without a fresh repair line.
     With self-optimization off (``campaign_config``), every ``grow: ...
-    active`` entry is a repair bringing a replacement replica online.
+    active`` entry is such a repair completion.
     """
-    times: dict[str, list[float]] = {}
+    starts: dict[str, list[tuple[float, str]]] = {}
+    completions: dict[str, list[float]] = {}
     for t, desc in collector.reconfigurations:
-        if "grow:" in desc and " active on " in desc and desc.startswith("["):
-            tier = desc[1 : desc.index("]")]
-            times.setdefault(tier, []).append(t)
-    return times
+        if not desc.startswith("["):
+            continue
+        tier = desc[1 : desc.index("]")]
+        if "repair: " in desc and " failed on " in desc:
+            node = desc[desc.index(" failed on ") + len(" failed on ") :]
+            starts.setdefault(tier, []).append((t, node))
+        elif "grow:" in desc and " active on " in desc:
+            completions.setdefault(tier, []).append(t)
+    repairs: dict[str, list[tuple[float, str, float]]] = {}
+    for tier, tier_starts in starts.items():
+        pool = completions.get(tier, [])
+        used: set[int] = set()
+        for start_t, node in tier_starts:
+            for i, done_t in enumerate(pool):
+                if i not in used and done_t > start_t:
+                    used.add(i)
+                    repairs.setdefault(tier, []).append((start_t, node, done_t))
+                    break
+    return repairs
 
 
-def _match(fault_t: float, pool: list[float], used: set[int]) -> Optional[float]:
-    """Earliest unused time in ``pool`` strictly after ``fault_t``."""
-    for i, t in enumerate(pool):
-        if i not in used and t > fault_t:
+def _match(
+    fault_t: float,
+    node: str,
+    pool: list[tuple[float, str, float]],
+    used: set[int],
+) -> Optional[float]:
+    """Completion time of the earliest unused repair *of this node* whose
+    start is at/after ``fault_t``.  Matching by node is what keeps a
+    Poisson stream hitting the same node repeatedly paired correctly:
+    each repair goes to the earliest unrepaired fault on that node, never
+    to a concurrent fault elsewhere in the tier."""
+    for i, (start_t, repair_node, done_t) in enumerate(pool):
+        if i not in used and repair_node == node and start_t >= fault_t:
             used.add(i)
-            return t
+            return done_t
     return None
 
 
@@ -73,7 +105,7 @@ def score_run(run, slo_latency_s: float = 0.5) -> dict:
     disruptions = [
         e for e in chaos.events if e["fault"] in DISRUPTIVE and e["node"]
     ]
-    repairs = _repair_times(col)
+    repairs = _repairs_by_node(col)
     detections = sorted(chaos.detections, key=lambda d: d["t"])
 
     mttrs: list[float] = []
@@ -84,7 +116,10 @@ def score_run(run, slo_latency_s: float = 0.5) -> dict:
     for event in sorted(disruptions, key=lambda e: e["t"]):
         tier = event["tier"]
         repaired_t = _match(
-            event["t"], repairs.get(tier, []), used_repairs.setdefault(tier, set())
+            event["t"],
+            event["node"],
+            repairs.get(tier, []),
+            used_repairs.setdefault(tier, set()),
         )
         if repaired_t is None:
             unrepaired += 1
@@ -109,7 +144,10 @@ def score_run(run, slo_latency_s: float = 0.5) -> dict:
         "mttr_max_s": max(mttrs) if mttrs else float("nan"),
         "detect_mean_s": _mean_or_nan(detect_latencies),
         "detections": len(detections),
-        "availability": completed / attempted if attempted else 1.0,
+        # NaN, not 1.0, when the outage killed every arrival: "nobody got
+        # through" must not score as perfect availability.  _stats drops
+        # NaNs from the CI aggregation and the renderer prints n/a.
+        "availability": completed / attempted if attempted else float("nan"),
         "goodput_rps": col.throughput(0.0, duration),
         "slo_violation_s": slo_violation_time(
             col.latencies, 0.0, duration, slo_latency_s

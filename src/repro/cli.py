@@ -160,6 +160,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool width for the seed fan-out",
     )
 
+    from repro.deploy.scenario import PRESETS as DEPLOY_PRESETS
+    from repro.deploy.scenario import STRATEGIES
+
+    deploy = sub.add_parser(
+        "deploy",
+        help="push a new server version through a bounce strategy with "
+        "canary analysis and SLO-gated automatic rollback",
+    )
+    deploy.add_argument(
+        "--scenario", default="clean-push", choices=sorted(DEPLOY_PRESETS),
+        help="named deployment scenario (default: clean-push)",
+    )
+    deploy.add_argument(
+        "--strategy", choices=STRATEGIES, default=None,
+        help="override the scenario's bounce strategy "
+        "(brutal | upthendown | crossover | downthenup)",
+    )
+    deploy.add_argument(
+        "--seeds", default="1,2,3", metavar="LIST",
+        help="comma-separated seeds; CIs aggregate across them "
+        "(default 1,2,3)",
+    )
+    deploy.add_argument("--clients", type=int, default=120)
+    deploy.add_argument(
+        "--duration", type=float, default=540.0,
+        help="simulated seconds per run (default 540)",
+    )
+    deploy.add_argument(
+        "--slo", type=float, default=0.5, metavar="SEC",
+        help="latency SLO for the violation-time metric (default 0.5 s)",
+    )
+    deploy.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the canonical scorecard JSON (byte-stable across "
+        "serial/parallel/cached execution)",
+    )
+    deploy.add_argument(
+        "--events", action="store_true",
+        help="print the per-seed deployment event logs and capacity "
+        "timeline",
+    )
+    deploy.add_argument(
+        "--serial", action="store_true", help="run seeds in-process"
+    )
+    deploy.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+    deploy.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool width for the seed fan-out",
+    )
+
     whatif = sub.add_parser(
         "whatif",
         help="fork the ramp mid-run and compare candidate replica "
@@ -561,7 +613,9 @@ def _recovery_metrics(system: ManagedSystem, crash_t: float) -> dict:
         "mttr_s": (
             repaired_t - crash_t if repaired_t is not None else float("nan")
         ),
-        "availability": completed / attempted if attempted else 1.0,
+        # NaN (not 1.0) when no request got through — same convention as
+        # the chaos scorecard: a total outage is not perfect availability.
+        "availability": completed / attempted if attempted else float("nan"),
     }
 
 
@@ -597,7 +651,11 @@ def cmd_recovery(args: argparse.Namespace) -> int:
         if metrics["mttr_s"] == metrics["mttr_s"]
         else "  MTTR               : n/a (replica not repaired)"
     )
-    print(f"  availability       : {metrics['availability'] * 100:.2f} %")
+    print(
+        f"  availability       : {metrics['availability'] * 100:.2f} %"
+        if metrics["availability"] == metrics["availability"]
+        else "  availability       : n/a (no requests attempted)"
+    )
     _print_trace_note(system)
     controller = system.cjdbc.content.controller
     backends = controller.enabled_backends()
@@ -673,6 +731,74 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 print(
                     f"  t={det['t']:7.1f}s  detect {det['component']} "
                     f"[{det['tier']}] via {det['reason']}"
+                )
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(scorecard_json(scorecard))
+        print(f"\nScorecard written to {args.json}")
+    return 0
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.deploy import (
+        PRESETS,
+        deploy_config,
+        render_scorecard,
+        score_scenario,
+        scorecard_json,
+        with_strategy,
+    )
+    from repro.runner import ExperimentRunner, ResultCache
+
+    scenario = PRESETS[args.scenario]()
+    if args.strategy is not None:
+        scenario = with_strategy(scenario, args.strategy)
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+    if not seeds:
+        print("error: --seeds is empty", file=sys.stderr)
+        return 2
+    print(
+        f"Deployment '{scenario.name}' ({scenario.version.label} via "
+        f"{scenario.strategy}, canary={'on' if scenario.canary else 'off'}): "
+        f"{args.clients} clients x {args.duration:.0f}s, "
+        f"seeds {', '.join(str(s) for s in seeds)}..."
+    )
+    runner = ExperimentRunner(
+        max_workers=args.workers,
+        cache=None if args.no_cache else ResultCache(),
+        parallel=not args.serial,
+    )
+    runs = runner.run_seeds(
+        lambda seed: deploy_config(
+            scenario, seed=seed, clients=args.clients, duration_s=args.duration
+        ),
+        seeds,
+        prefix=f"deploy-{scenario.name}",
+    )
+    if runner.cache is not None:
+        print(
+            f"  cache: {runner.cache.hits} hits / {runner.cache.misses} misses"
+        )
+    scorecard = score_scenario(
+        scenario, [runs[s] for s in seeds], slo_latency_s=args.slo
+    )
+    print()
+    for line in render_scorecard(scorecard):
+        print(line)
+    if args.events:
+        for seed in seeds:
+            stats = runs[seed].deploy
+            print(f"\nSeed {seed} events")
+            for event in stats.events:
+                detail = ", ".join(
+                    f"{k}={v}" for k, v in sorted(event.items())
+                    if k not in ("t", "kind")
+                )
+                suffix = f" ({detail})" if detail else ""
+                print(f"  t={event['t']:7.1f}s  {event['kind']}{suffix}")
+            for t, serving, total in stats.capacity:
+                print(
+                    f"  t={t:7.1f}s  capacity {serving}/{total} serving"
                 )
     if args.json:
         with open(args.json, "w") as fh:
@@ -796,6 +922,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         skip_ramp=args.micro_only,
         skip_whatif=args.micro_only,
+        skip_deploy=args.micro_only,
         whatif_candidates=args.whatif_candidates,
     )
     micro = report["micro"]
@@ -851,6 +978,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{s['cold']['rows_per_s']:.1f} rows/s, warm "
             f"{s['warm']['rows_per_s']:.0f} rows/s (cache-resolved)"
         )
+    if "deploy" in report:
+        from repro.deploy.bench import render_section
+
+        print()
+        print(render_section(report["deploy"]))
     if args.out:
         print(f"\nReport written to {args.out}")
     return 0
@@ -873,6 +1005,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "steady": cmd_steady,
         "recovery": cmd_recovery,
         "chaos": cmd_chaos,
+        "deploy": cmd_deploy,
         "whatif": cmd_whatif,
         "sweep": cmd_sweep,
         "cache": cmd_cache,

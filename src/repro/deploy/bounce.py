@@ -1,0 +1,254 @@
+"""Bounce strategies.
+
+A *bounce* moves the replicas of a tier from one server version to
+another.  The four strategies are kernel processes composed from the
+existing actuator vocabulary — Fractal lifecycle/binding controllers,
+:class:`~repro.jade.rolling.RollingRebind`, and the tier manager's
+grow/shrink sequences — trading blackout risk against spare-node demand
+(see :data:`~repro.deploy.scenario.STRATEGIES` for the ladder).
+
+Replicas being bounced are quarantined in ``TierManager.maintenance`` so
+the heartbeat sensor does not mistake a deliberately stopped server for
+a crash and "repair" it mid-bounce.  The ``observe`` callback is invoked
+after every capacity-changing step: it is how the deploy manager records
+capacity-in-flight (serving/total) for the scorecard's blackout and
+minimum-capacity numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.deploy.versions import (
+    ServerVersion,
+    apply_version,
+    clear_version,
+    version_label,
+)
+from repro.jade.rolling import RollingRebind
+from repro.simulation.process import Process, Signal, sleep, wait
+
+#: retry budget for grow/shrink sequencing (seconds of 1 s polls); hitting
+#: it means the pool stayed exhausted or the tier stayed busy for this
+#: long — the bounce gives up rather than spin forever
+_RETRY_BUDGET = 120
+
+
+class BounceOperation:
+    """One bounce of a tier to ``version`` (None = back to stable).
+
+    ``limit`` restricts the pass to the first N stale replicas — how the
+    canary phase bounces only the canary cohort.  ``done`` fires when the
+    pass ends (``completed`` distinguishes success from an abort or a
+    failed grow); killing :attr:`process` mid-pass lifts every quarantine
+    via the ``finally`` below, so an aborted bounce never leaves the
+    heartbeat sensor blind to a replica.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        tier,
+        version: Optional[ServerVersion],
+        strategy: str,
+        rng=None,
+        settle_s: float = 2.0,
+        limit: Optional[int] = None,
+        observe: Optional[Callable[[], None]] = None,
+        event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.tier = tier
+        self.version = version
+        self.strategy = strategy
+        self.rng = rng
+        self.settle_s = settle_s
+        self.limit = limit
+        self.observe = observe
+        self.event = event
+        self.done = Signal(kernel)
+        self.completed = False
+        self.error: Optional[str] = None
+        self.bounced = 0
+        self.process: Optional[Process] = None
+        self._quarantined: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "BounceOperation":
+        self.process = Process(
+            self.kernel, self._run(), name=f"bounce-{self.strategy}"
+        )
+        return self
+
+    def _run(self):
+        try:
+            yield from getattr(self, f"_run_{self.strategy}")()
+            self.completed = True
+        except RuntimeError as exc:
+            # A failed grow/shrink (pool exhausted, tier wedged) ends the
+            # bounce; the deploy manager reads ``error`` off the result.
+            self.error = str(exc)
+            if self.event is not None:
+                self.event(f"bounce-failed: {exc}")
+        finally:
+            for name in list(self._quarantined):
+                self._unquarantine(name)
+            if not self.done.fired:
+                self.done.succeed(self)
+
+    # ------------------------------------------------------------------
+    # Shared mechanics
+    # ------------------------------------------------------------------
+    def _targets(self) -> list:
+        """Stale replicas: those not already on the target version."""
+        label = version_label(self.version)
+        stale = [
+            r for r in self.tier.replicas if version_label(r.version) != label
+        ]
+        return stale[: self.limit] if self.limit is not None else stale
+
+    def _apply(self, record) -> None:
+        if self.version is None:
+            clear_version(record)
+        else:
+            apply_version(record, self.version, rng=self.rng)
+
+    def _quarantine(self, name: str) -> None:
+        self.tier.maintenance.add(name)
+        self._quarantined.add(name)
+
+    def _unquarantine(self, name: str) -> None:
+        self.tier.maintenance.discard(name)
+        self._quarantined.discard(name)
+
+    def _observe(self) -> None:
+        if self.observe is not None:
+            self.observe()
+
+    def _bounce_in_place(self, record):
+        """Stop/swap/start one replica where it sits, via RollingRebind
+        (re-pins its static bindings while down, applies the version in
+        the outage window, waits out the restart)."""
+        component = record.component
+        self._quarantine(component.name)
+        try:
+            template = self.tier.bindings_template
+            if template:
+                rebind = RollingRebind(
+                    self.kernel,
+                    [component],
+                    template[0][0],
+                    [target for _, target in template],
+                    settle_s=0.0,
+                    on_stopped=lambda c: self._apply(record),
+                )
+                rebind.start()
+                yield wait(rebind.done)
+            else:
+                component.stop()
+                self._apply(record)
+                yield sleep(getattr(component.content, "startup_time_s", 1.0))
+                component.start()
+        finally:
+            self._unquarantine(component.name)
+        self.bounced += 1
+        self._observe()
+
+    def _grow_versioned(self):
+        """Grow one replica stamped with the target version; returns the
+        new record once it is active."""
+        prior = {r.component.name for r in self.tier.replicas}
+        self.tier.current_version = self.version
+        try:
+            for _ in range(_RETRY_BUDGET):
+                if self.tier.grow():
+                    break
+                yield sleep(1.0)
+            else:
+                raise RuntimeError(
+                    f"{self.tier.tier_name}: grow never started"
+                )
+            while self.tier.busy:
+                yield sleep(1.0)
+        finally:
+            self.tier.current_version = None
+        new = [
+            r for r in self.tier.replicas if r.component.name not in prior
+        ]
+        if not new:
+            raise RuntimeError(f"{self.tier.tier_name}: grow failed")
+        self.bounced += 1
+        return new[-1]
+
+    def _shrink_record(self, record):
+        for _ in range(_RETRY_BUDGET):
+            if self.tier.shrink(record=record):
+                break
+            yield sleep(1.0)
+        else:
+            raise RuntimeError(f"{self.tier.tier_name}: shrink never started")
+        while self.tier.busy:
+            yield sleep(1.0)
+
+    # ------------------------------------------------------------------
+    # Strategies
+    # ------------------------------------------------------------------
+    def _run_brutal(self):
+        """Stop every stale replica at once, swap versions, restart all
+        after one startup wait.  The whole tier blacks out (the balancer
+        fails requests fast: "no live backend") — the baseline the other
+        strategies are measured against."""
+        targets = self._targets()
+        if not targets:
+            return
+        for record in targets:
+            self._quarantine(record.component.name)
+        try:
+            for record in targets:
+                record.component.stop()
+                self._apply(record)
+            self._observe()  # the blackout, on the capacity timeline
+            startup = max(
+                getattr(r.component.content, "startup_time_s", 1.0)
+                for r in targets
+            )
+            yield sleep(startup)
+            for record in targets:
+                record.component.start()
+                self.bounced += 1
+        finally:
+            for record in targets:
+                self._unquarantine(record.component.name)
+        self._observe()
+
+    def _run_downthenup(self):
+        """Rolling in-place restart, one replica at a time: capacity dips
+        by one replica per step, never to zero."""
+        for record in self._targets():
+            yield from self._bounce_in_place(record)
+            if self.settle_s > 0:
+                yield sleep(self.settle_s)
+
+    def _run_crossover(self):
+        """Grow one new-version replica, retire one stale replica, repeat:
+        serving capacity never drops below the fleet size (needs one spare
+        node)."""
+        for old in self._targets():
+            yield from self._grow_versioned()
+            self._observe()
+            yield from self._shrink_record(old)
+            self._observe()
+            if self.settle_s > 0:
+                yield sleep(self.settle_s)
+
+    def _run_upthendown(self):
+        """Grow the full new-version fleet first, then retire every stale
+        replica: capacity only ever grows during the swap (needs N spare
+        nodes)."""
+        targets = self._targets()
+        for _ in targets:
+            yield from self._grow_versioned()
+            self._observe()
+        for old in targets:
+            yield from self._shrink_record(old)
+            self._observe()

@@ -44,12 +44,15 @@ ReadyCheck = Callable[["ReplicaRecord"], bool]
 class ReplicaRecord:
     """One replica of a managed tier."""
 
-    __slots__ = ("component", "node", "binding_instance")
+    __slots__ = ("component", "node", "binding_instance", "version")
 
     def __init__(self, component: Component, node: Node, binding_instance: Optional[str]):
         self.component = component
         self.node = node
         self.binding_instance = binding_instance
+        #: server configuration version (None = stable baseline; set by
+        #: the deploy subsystem when the replica runs a pushed version)
+        self.version = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Replica {self.component.name} on {self.node.name}>"
@@ -101,6 +104,15 @@ class TierManager:
         self.busy = False
         #: optional decision tracer (set by the assembled system)
         self.tracer = None
+        #: component names under a planned bounce: excluded from
+        #: ``servers()``/``active_nodes()`` so the heartbeat sensor does
+        #: not "repair" a replica the deploy subsystem stopped on purpose
+        self.maintenance: set[str] = set()
+        #: version stamped on replicas grown from now on (None = stable)
+        self.current_version = None
+        #: optional hook applied to each newly active replica record
+        #: (the deploy subsystem installs the version's effects here)
+        self.version_applier: Optional[Callable[[ReplicaRecord], None]] = None
         self._next_id = 1
         self.grows_completed = 0
         self.shrinks_completed = 0
@@ -123,20 +135,28 @@ class TierManager:
         """Nodes of replicas that are actually serving (a database replica
         replaying the recovery log is excluded: its CPU is saturated by the
         synchronization, not by client load, and including it would bias the
-        probe into re-triggering growth)."""
+        probe into re-triggering growth; replicas quarantined for a planned
+        bounce are excluded for the same reason)."""
+        records = [
+            r for r in self.replicas if r.component.name not in self.maintenance
+        ]
         if self.ready_check is None:
-            return self.nodes()
-        return [r.node for r in self.replicas if self.ready_check(r)]
+            return [r.node for r in records]
+        return [r.node for r in records if self.ready_check(r)]
 
     def components(self) -> list[Component]:
         return [r.component for r in self.replicas]
 
     def servers(self) -> list[object]:
-        """The legacy server behind each replica (for heartbeat sensors)."""
+        """The legacy server behind each replica (for heartbeat sensors).
+        Replicas under planned maintenance are skipped: a deliberately
+        stopped server must not trip the failure detector into a spurious
+        repair mid-bounce."""
         return [
             r.component.content.server
             for r in self.replicas
             if getattr(r.component.content, "server", None) is not None
+            and r.component.name not in self.maintenance
         ]
 
     # ------------------------------------------------------------------
@@ -227,7 +247,10 @@ class TierManager:
                 self.balancer_itf, component.get_interface(self.replica_itf)
             )
             record = ReplicaRecord(component, node, instance)
+            record.version = self.current_version
             self.replicas.append(record)
+            if record.version is not None and self.version_applier is not None:
+                self.version_applier(record)
             # 5. Wait until the replica is actually serving (DB sync).
             if self.ready_check is not None:
                 while not self.ready_check(record):
@@ -285,9 +308,13 @@ class TierManager:
     # ------------------------------------------------------------------
     # Shrink
     # ------------------------------------------------------------------
-    def shrink(self) -> bool:
-        """Start removing the most recently added replica."""
+    def shrink(self, record: Optional[ReplicaRecord] = None) -> bool:
+        """Start removing a replica — the most recently added one by
+        default, or a specific ``record`` (how the deploy subsystem
+        retires old-version replicas during a crossover bounce)."""
         if self.busy or len(self.replicas) <= 1:
+            return False
+        if record is not None and record not in self.replicas:
             return False
         if self.arbitration is not None and not self.arbitration.request(
             "shrink", self.tier_name
@@ -295,7 +322,10 @@ class TierManager:
             return False
         self.busy = True
         before = self.replica_count
-        record = self.replicas.pop()
+        if record is None:
+            record = self.replicas.pop()
+        else:
+            self.replicas.remove(record)
         start_seq = None
         if self.tracer is not None:
             start_seq = self.tracer.emit(

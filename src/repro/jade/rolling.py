@@ -15,7 +15,7 @@ uniform component interface.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.fractal.component import Component
 from repro.fractal.interfaces import Interface
@@ -24,7 +24,21 @@ from repro.simulation.process import Process, Signal, sleep
 
 
 class RollingRebind:
-    """Sequentially repoint a set of frontends' client interfaces."""
+    """Sequentially repoint a set of frontends' client interfaces.
+
+    A frontend that was already stopped is rebound without the restart
+    dance: no startup wait, no settle, no ``restarted`` increment — the
+    rolling pass must never *start* a deliberately stopped replica.
+
+    ``on_stopped`` (when given) runs on each frontend while it is down,
+    between unbind and rebind — the hook the deploy subsystem uses to
+    swap the server version during the outage window.
+
+    Aborting the operation mid-flight (``Process.kill`` on the returned
+    process, e.g. a cancelled deployment) must not strand the current
+    frontend stopped and unbound: a ``finally`` clause restores its
+    bindings and restarts it if it was running when the pass reached it.
+    """
 
     def __init__(
         self,
@@ -33,6 +47,7 @@ class RollingRebind:
         itf_name: str,
         targets: Sequence[Interface],
         settle_s: float = 1.0,
+        on_stopped: Optional[Callable[[Component], None]] = None,
     ) -> None:
         if not frontends:
             raise ValueError("need at least one frontend")
@@ -43,31 +58,56 @@ class RollingRebind:
         self.itf_name = itf_name
         self.targets = list(targets)
         self.settle_s = settle_s
+        self.on_stopped = on_stopped
         self.done = Signal(kernel)
         self.restarted = 0
+        self.process: Optional[Process] = None
 
     def start(self) -> "RollingRebind":
         """Begin the rolling sequence; ``done`` fires when every frontend
         has been restarted against the new target set."""
-        Process(self.kernel, self._sequence(), name="rolling-rebind")
+        self.process = Process(self.kernel, self._sequence(), name="rolling-rebind")
         return self
+
+    def _rebind(self, frontend: Component) -> None:
+        frontend.binding_controller.unbind_all(self.itf_name)
+        for target in self.targets:
+            frontend.bind(self.itf_name, target)
 
     def _sequence(self):
         for frontend in self.frontends:
             was_started = frontend.lifecycle_controller.is_started()
-            frontend.stop()
-            bc = frontend.binding_controller
-            bc.unbind_all(self.itf_name)
-            for target in self.targets:
-                frontend.bind(self.itf_name, target)
-            startup = getattr(frontend.content, "startup_time_s", 1.0)
-            yield sleep(startup)
-            if was_started:
+            restored = False
+            try:
+                frontend.stop()
+                self._rebind(frontend)
+                if self.on_stopped is not None:
+                    self.on_stopped(frontend)
+                if not was_started:
+                    # Deliberately stopped replica: repoint only, never
+                    # start it, and skip the restart/settle waits.
+                    restored = True
+                    continue
+                startup = getattr(frontend.content, "startup_time_s", 1.0)
+                yield sleep(startup)
                 frontend.start()
-            self.restarted += 1
-            # Let the restarted replica take load before touching the next.
-            yield sleep(self.settle_s)
-        self.done.succeed(self)
+                restored = True
+                self.restarted += 1
+                # Let the restarted replica take load before touching the
+                # next.
+                yield sleep(self.settle_s)
+            finally:
+                if not restored:
+                    # Aborted mid-restart (the generator was closed while
+                    # waiting): never leave the frontend stopped+unbound.
+                    if not frontend.binding_controller.bound_instances(
+                        self.itf_name
+                    ):
+                        self._rebind(frontend)
+                    if was_started and not frontend.lifecycle_controller.is_started():
+                        frontend.start()
+        if not self.done.fired:
+            self.done.succeed(self)
 
 
 def rolling_rebind(

@@ -54,6 +54,7 @@ from repro.workload.profiles import RampProfile, WorkloadProfile
 if TYPE_CHECKING:  # pragma: no cover
     from repro.capacity.proactive import ProactiveConfig
     from repro.chaos.campaign import ChaosCampaign
+    from repro.deploy.scenario import DeployScenario
 
 #: ADL description of the initial RUBiS deployment (§5.2: "Initially, the
 #: J2EE system is deployed with one application server (Tomcat) and one
@@ -116,6 +117,10 @@ class ExperimentConfig:
     #: ``repro.chaos`` — a picklable fault schedule, so chaos runs are
     #: cacheable and fan out across seeds like any other experiment)
     chaos: Optional["ChaosCampaign"] = None
+    #: deployment scenario executed during the run (extension; see
+    #: ``repro.deploy`` — a picklable value like ``chaos``, so deploy
+    #: runs are cacheable and fan out across seeds unchanged)
+    deploy: Optional["DeployScenario"] = None
     #: sample node CPU/memory every second (Table 1)
     sample_nodes: bool = True
     #: extra simulated time after the profile ends (lets requests drain)
@@ -405,6 +410,23 @@ class ManagedSystem:
                 for label, probe in zip(("app", "db"), self._passive_probes):
                     probe.subscribe(self.proactive.cpu_listener(label))
 
+        # --- deployment manager (extension) -------------------------------
+        # Built after the proactive manager so it can share whichever
+        # inhibition lock exists (optimizer's, else proactive's); with
+        # neither, it creates its own.  Its RNG stream ("deploy") feeds
+        # the pushed version's per-request error draws, so a bad push is
+        # reproducible from the experiment seed.
+        self.deploy = None
+        if cfg.deploy is not None:
+            from repro.deploy.canary import DeployManager
+
+            lock = getattr(self.optimizer, "inhibition", None)
+            if lock is None and self.proactive is not None:
+                lock = self.proactive.inhibition
+            self.deploy = DeployManager(
+                self, cfg.deploy, rng=self.streams.get("deploy"), lock=lock
+            )
+
         # --- metrics sampling ---------------------------------------------
         self._node_sampler = UtilizationSampler()
         self._sampling_task = None
@@ -440,6 +462,8 @@ class ManagedSystem:
                 self.recovery.detector.tracer = tracer
         if self.chaos is not None:
             self.chaos.tracer = tracer
+        if self.deploy is not None:
+            self.deploy.tracer = tracer
         if self.proactive is not None:
             self.proactive.tracer = tracer
             self.proactive.inhibition.tracer = tracer
@@ -493,6 +517,8 @@ class ManagedSystem:
             self.proactive.on_start()
         if self.chaos is not None:
             self.chaos.start()
+        if self.deploy is not None:
+            self.deploy.start()
         if cfg.sample_nodes:
             self._sampling_task = self.kernel.every(1.0, self._sample_nodes)
         for probe in self._passive_probes:
@@ -512,6 +538,8 @@ class ManagedSystem:
             self.proactive.on_stop()
         if self.chaos is not None:
             self.chaos.stop()
+        if self.deploy is not None:
+            self.deploy.stop()
         if self.tracer is not None:
             self.tracer.emit(
                 KernelStats(

@@ -52,6 +52,17 @@ class LegacyServer:
         #: max_connections).  None = accept everything (the default: the
         #: paper's Figure 8 shows unbounded queueing, not admission control).
         self.admission_limit: Optional[int] = None
+        #: label of the configuration version this server runs (None =
+        #: stable baseline; set by the deploy subsystem's bounce actuators)
+        self.version_label: Optional[str] = None
+        #: a "bad push" injects servlet errors: each admitted request
+        #: fails with this probability (drawn from ``fault_rng``).  Zero
+        #: cost when 0.0 — the hot path short-circuits on the float.
+        self.fault_rate: float = 0.0
+        self.fault_rng: Optional[Callable[[], float]] = None
+        #: optional per-request tap ``(request, ok) -> None`` fired at
+        #: completion/abort (the canary controller's measurement hook)
+        self.request_observer: Optional[Callable[[object, bool], None]] = None
         self._registered: list[tuple[str, int]] = []
         node.on_crash(self._node_crashed)
 
@@ -131,6 +142,17 @@ class LegacyServer:
             self.rejected += 1
             return False
         return True
+
+    def _inject_fault(self) -> bool:
+        """True when the configured per-version error rate fires for this
+        request (a bad push's 500s)."""
+        if self.fault_rate <= 0.0 or self.fault_rng is None:
+            return False
+        return self.fault_rng() < self.fault_rate
+
+    def _observe(self, request, ok: bool) -> None:
+        if self.request_observer is not None:
+            self.request_observer(request, ok)
 
     def _begin(self, weight: int = 1) -> None:
         self.pending += weight

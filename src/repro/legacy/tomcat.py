@@ -82,6 +82,13 @@ class TomcatServer(LegacyServer):
         if not self._admit():
             request.fail(self.kernel, f"{self.name}: 503 all threads busy")
             return
+        if self._inject_fault():
+            # A bad push's servlet bug: the request errors out immediately
+            # (counted as a server failure, visible to the canary tap).
+            self.failures += request.weight
+            self._observe(request, False)
+            request.fail(self.kernel, f"{self.name}: 500 injected fault")
+            return
         request.trace(self.name)
         self._begin(request.weight)
         self._run_then(
@@ -120,8 +127,10 @@ class TomcatServer(LegacyServer):
 
     def _finish(self, request: WebRequest) -> None:
         self._end(weight=request.weight)
+        self._observe(request, True)
         request.complete(self.kernel)
 
     def _abort(self, request: WebRequest, reason: str) -> None:
         self._end(ok=False, weight=request.weight)
+        self._observe(request, False)
         request.fail(self.kernel, f"{self.name}: {reason}")

@@ -70,7 +70,8 @@ def to_json_dict(
     reconfiguration durations) is included under ``"trace"``; ``seed``
     records the experiment seed so the run can be replayed exactly.
     ``extra`` merges caller-computed top-level sections (e.g. the
-    recovery command's MTTR/availability block)."""
+    recovery command's MTTR/availability block); a key colliding with a
+    core report section raises instead of silently overwriting it."""
     stats = collector.latency_summary()
     report = {
         "requests": {
@@ -92,6 +93,12 @@ def to_json_dict(
     if tracer is not None:
         report["trace"] = tracer.summary()
     if extra:
+        colliding = sorted(set(extra) & set(report))
+        if colliding:
+            raise ValueError(
+                f"extra section would overwrite core report key(s): "
+                f"{', '.join(colliding)}"
+            )
         report.update(extra)
     return report
 

@@ -249,6 +249,49 @@ class DetectorSuspected(TraceEvent):
 
 
 @dataclass(frozen=True)
+class DeployStarted(TraceEvent):
+    """The deploy manager began bouncing a tier to a new server version
+    (``repro.deploy``)."""
+
+    kind: ClassVar[str] = "deploy-started"
+
+    scenario: str
+    version: str       # new version label
+    strategy: str      # "brutal" | "upthendown" | "crossover" | "downthenup"
+    tier: str
+    replicas: int      # fleet size when the deployment started
+
+
+@dataclass(frozen=True)
+class CanaryVerdict(TraceEvent):
+    """The canary controller compared the canary cohort against the
+    stable fleet over the decision window and ruled."""
+
+    kind: ClassVar[str] = "canary-verdict"
+
+    scenario: str
+    version: str
+    promoted: bool
+    reason: str              # "slo-ok" | "error-delta" | "latency-factor" | ...
+    canary_error_rate: float
+    stable_error_rate: float
+    canary_latency_s: float
+    stable_latency_s: float
+
+
+@dataclass(frozen=True)
+class RollbackTriggered(TraceEvent):
+    """A failed canary verdict triggered the automatic rollback to the
+    stable version (``cause`` links back to the verdict)."""
+
+    kind: ClassVar[str] = "rollback-triggered"
+
+    scenario: str
+    version: str       # the version being rolled back
+    reason: str
+
+
+@dataclass(frozen=True)
 class KernelStats(TraceEvent):
     """Event-loop counters, emitted once at the end of a traced run."""
 
@@ -275,6 +318,9 @@ EVENT_KINDS = {
         FaultInjected,
         FaultCleared,
         DetectorSuspected,
+        DeployStarted,
+        CanaryVerdict,
+        RollbackTriggered,
         ForecastIssued,
         WhatIfEvaluated,
         ProactiveDecision,

@@ -357,6 +357,7 @@ def run_bench(
     use_cache: bool = True,
     skip_ramp: bool = False,
     skip_whatif: bool = False,
+    skip_deploy: bool = False,
     whatif_candidates: int = 8,
 ) -> dict:
     """Run the full engine benchmark; optionally write BENCH_engine.json."""
@@ -369,6 +370,12 @@ def run_bench(
     if not skip_whatif:
         report["whatif"] = run_whatif_bench(candidates=whatif_candidates)
         report["sweep"] = run_sweep_bench()
+    if not skip_deploy:
+        from repro.deploy.bench import run_deploy_section
+
+        report["deploy"] = run_deploy_section(
+            seeds=seeds, parallel=parallel, use_cache=use_cache
+        )
     if out_path:
         Path(out_path).write_text(
             json.dumps(report, indent=2, default=float) + "\n"

@@ -127,6 +127,82 @@ class ChaosStats:
         )
 
 
+class DeployStats:
+    """Plain-data distillate of a deployment execution: the deploy
+    manager's event/capacity logs plus the canary verdict — everything
+    :mod:`repro.deploy.scorecard` reads."""
+
+    __slots__ = (
+        "scenario",
+        "strategy",
+        "version",
+        "fleet",
+        "verdict",
+        "reason",
+        "events",
+        "capacity",
+        "canary",
+        "started_t",
+        "verdict_t",
+        "completed_t",
+    )
+
+    def __init__(
+        self,
+        scenario: str,
+        strategy: str,
+        version: str,
+        fleet: int,
+        verdict: Optional[str],
+        reason: str,
+        events: list,
+        capacity: list,
+        canary: dict,
+        started_t: float,
+        verdict_t: float,
+        completed_t: float,
+    ) -> None:
+        self.scenario = scenario
+        self.strategy = strategy
+        self.version = version
+        self.fleet = fleet
+        self.verdict = verdict
+        self.reason = reason
+        self.events = events
+        self.capacity = capacity
+        self.canary = canary
+        self.started_t = started_t
+        self.verdict_t = verdict_t
+        self.completed_t = completed_t
+
+    @classmethod
+    def from_system(cls, system) -> Optional["DeployStats"]:
+        manager = getattr(system, "deploy", None)
+        if manager is None:
+            return None
+        scenario = manager.scenario
+        return cls(
+            scenario=scenario.name,
+            strategy=scenario.strategy,
+            version=scenario.version.label,
+            fleet=scenario.fleet,
+            verdict=manager.verdict,
+            reason=manager.verdict_reason,
+            events=list(manager.events),
+            capacity=[list(entry) for entry in manager.capacity],
+            canary=dict(manager.canary_metrics),
+            started_t=manager.started_t,
+            verdict_t=manager.verdict_t,
+            completed_t=manager.completed_t,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DeployStats({self.scenario}, {self.strategy}, "
+            f"verdict={self.verdict})"
+        )
+
+
 class CompletedRun:
     """Everything an analysis needs from a finished experiment.
 
@@ -143,6 +219,7 @@ class CompletedRun:
         "db_tier",
         "proactive",
         "chaos",
+        "deploy",
         "events_processed",
         "wall_time_s",
     )
@@ -157,6 +234,7 @@ class CompletedRun:
         events_processed: int,
         wall_time_s: float,
         chaos: Optional[ChaosStats] = None,
+        deploy: Optional[DeployStats] = None,
     ) -> None:
         self.config = config
         self.collector = collector
@@ -164,6 +242,7 @@ class CompletedRun:
         self.db_tier = db_tier
         self.proactive = proactive
         self.chaos = chaos
+        self.deploy = deploy
         self.events_processed = events_processed
         self.wall_time_s = wall_time_s
 
@@ -184,6 +263,7 @@ class CompletedRun:
             config=system.config,
             collector=system.collector,
             chaos=ChaosStats.from_system(system),
+            deploy=DeployStats.from_system(system),
             app_tier=TierStats(
                 "application",
                 system.app_tier.grows_completed,
