@@ -1,6 +1,6 @@
 # Convenience targets for the Jade reproduction.
 
-.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check bench-whatif-check chaos-demo chaos-smoke deploy-demo deploy-smoke figures examples trace-demo whatif-demo sweep-demo clean
+.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check bench-whatif-check chaos-demo chaos-smoke deploy-demo deploy-smoke market-demo market-smoke figures examples trace-demo whatif-demo sweep-demo clean
 
 install:
 	pip install -e .
@@ -66,6 +66,21 @@ deploy-demo:
 deploy-smoke:
 	python benchmarks/bench_deploy.py --smoke
 
+# Heterogeneous fleet demo: the spot-heavy fleet on the Fig. 9 ramp with
+# its rebalance/interruption log, the fleet-mix what-if comparison, and
+# the canonical scorecard.
+market-demo:
+	python -m repro market --scenario spot-heavy --seeds 1 --events --serial
+	python -m repro market --scenario volatile --seeds 1 --serial
+	python -m repro market --scenario spot-heavy --seeds 1,2,3 \
+		--json /tmp/repro-market.json
+	@echo "canonical scorecard: /tmp/repro-market.json"
+
+# Fast fleet-cost gate used by CI: one seed, same-SLO >=15% savings
+# assertions.
+market-smoke:
+	python benchmarks/bench_market.py --smoke
+
 # Engine benchmark: micro scenarios + multi-seed ramp pair through the
 # parallel cached runner; refreshes the committed BENCH_engine.json
 # (the chaos and deploy sections are re-merged by their own benchmarks).
@@ -73,6 +88,7 @@ bench-engine:
 	python -m repro bench --out BENCH_engine.json
 	python benchmarks/bench_chaos.py --out BENCH_engine.json
 	python benchmarks/bench_deploy.py --out BENCH_engine.json
+	python benchmarks/bench_market.py --out BENCH_engine.json
 
 # Perf gate used by CI: fail if the micro scenarios regress >25% against
 # the committed report.

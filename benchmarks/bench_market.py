@@ -1,0 +1,60 @@
+"""Heterogeneous-fleet benchmark: spot market vs the uniform pool.
+
+Runs the Fig. 9 ramp on the ``spot-heavy`` cost-aware fleet and on the
+paper's uniform on-demand pool across seeds, and asserts the headline:
+same SLO-violation budget at >= 15 % lower total fleet cost (95 % CIs).
+``python benchmarks/bench_market.py --out BENCH_engine.json`` merges the
+section into the committed engine report; ``--smoke`` is the fast CI
+gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.market.bench import check_section, render_section, run_market_section
+
+
+def bench_market_savings(benchmark):
+    from benchmarks._shared import emit  # pytest puts the rootdir on sys.path
+
+    section = benchmark.pedantic(run_market_section, rounds=1, iterations=1)
+    emit("market", render_section(section))
+    check_section(section)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI gate: one seed, assertions only",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="merge the market section into this engine report "
+        "(e.g. BENCH_engine.json; other sections are preserved)",
+    )
+    parser.add_argument("--seeds", type=int, default=3, metavar="N",
+                        help="run seeds 1..N (default 3)")
+    parser.add_argument("--serial", action="store_true")
+    args = parser.parse_args(argv)
+
+    seeds = (1,) if args.smoke else tuple(range(1, args.seeds + 1))
+    section = run_market_section(seeds=seeds, parallel=not args.serial)
+    print(render_section(section))
+    check_section(section)
+    if args.out:
+        path = Path(args.out)
+        report = json.loads(path.read_text()) if path.exists() else {}
+        report["market"] = section
+        path.write_text(json.dumps(report, indent=2, default=float) + "\n")
+        print(f"\nmarket section merged into {args.out}")
+    print("market-smoke: PASS" if args.smoke else "\nmarket bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -122,6 +122,16 @@ def poisson_campaign(mtbf_s: float = 240.0) -> ChaosCampaign:
     return ChaosCampaign("poisson", (F.poisson(mtbf_s, target="any"),))
 
 
+def spot_campaign(
+    at_s: float = 180.0, notice_s: float = 120.0
+) -> ChaosCampaign:
+    """A scheduled spot-market reclaim of a DB replica's node: drained
+    within the notice window, crashed at the deadline (``repro.market``)."""
+    return ChaosCampaign(
+        "spot", (F.spot_interruption(at_s, notice_s=notice_s, target="db"),)
+    )
+
+
 PRESETS = {
     "crash": crash_campaign,
     "fail-slow": fail_slow_campaign,
@@ -130,6 +140,7 @@ PRESETS = {
     "latency": latency_campaign,
     "correlated": correlated_campaign,
     "poisson": poisson_campaign,
+    "spot": spot_campaign,
 }
 
 

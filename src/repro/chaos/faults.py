@@ -21,6 +21,12 @@ correlated one rack dies: every replica node in the victim's rack group
            (``index % campaign.racks``) crashes together
 poisson    a crash stream with exponential inter-arrivals (``mtbf_s``)
            over the target tier, starting at ``at_s``
+spot-      a spot-market reclaim (``repro.market``): the victim node gets
+interrupt. an interruption notice; its replicas are drained through the
+           recovery manager immediately (repair now, on a fresh node)
+           and the node is crashed when the ``duration_s`` notice
+           expires.  Victims on spot-bought nodes are preferred; on a
+           uniform pool any replica node stands in.
 ========== =============================================================
 
 Victims are chosen at fire time (``pick`` = newest/oldest/random replica
@@ -45,12 +51,20 @@ KINDS = (
     "latency",
     "correlated",
     "poisson",
+    "spot-interruption",
 )
 TARGETS = ("app", "db", "any")
 PICKS = ("newest", "oldest", "random")
 
 #: fault kinds that disable a replica and should end in a repair
-DISRUPTIVE = ("crash", "slow", "gray", "partition", "correlated")
+DISRUPTIVE = (
+    "crash",
+    "slow",
+    "gray",
+    "partition",
+    "correlated",
+    "spot-interruption",
+)
 
 
 @dataclass(frozen=True)
@@ -141,6 +155,20 @@ def poisson(mtbf_s: float, at_s: float = 0.0, target: str = "any") -> FaultSpec:
     return FaultSpec("poisson", at_s=at_s, target=target, mtbf_s=mtbf_s)
 
 
+def spot_interruption(
+    at_s: float,
+    notice_s: float = 120.0,
+    target: str = "db",
+    pick: str = "newest",
+) -> FaultSpec:
+    """A spot reclaim with the cloud's classic 2-minute notice
+    (``duration_s`` holds the notice window)."""
+    return FaultSpec(
+        "spot-interruption", at_s=at_s, duration_s=notice_s,
+        target=target, pick=pick,
+    )
+
+
 # ----------------------------------------------------------------------
 # Injector
 # ----------------------------------------------------------------------
@@ -211,10 +239,12 @@ class ChaosInjector:
         return candidates[int(self.rng.integers(len(candidates)))]
 
     def _record(
-        self, fault: str, node: str, tier: str = "", detail: str = ""
+        self, fault: str, node: str, tier: str = "", detail: str = "",
+        count: bool = True,
     ) -> None:
         t = self.kernel.now
-        self.faults_injected += 1
+        if count:
+            self.faults_injected += 1
         self.events.append(
             {"t": t, "fault": fault, "node": node, "tier": tier, "detail": detail}
         )
@@ -240,6 +270,16 @@ class ChaosInjector:
         if spec.kind == "latency":
             self._apply_latency(spec)
             return
+        if spec.kind == "spot-interruption":
+            # Prefer genuinely spot-bought victims (heterogeneous fleet);
+            # on a uniform pool any replica node stands in for one.
+            spot_candidates = [
+                (tn, r)
+                for tn, r in candidates
+                if getattr(r.node, "market", "on-demand") == "spot"
+            ]
+            if spot_candidates:
+                candidates = spot_candidates
         if not candidates:
             # Nothing eligible (tier empty / everything already faulted):
             # log the attempt so the scorecard can report it.
@@ -276,6 +316,46 @@ class ChaosInjector:
                 self._clear_at(spec.duration_s, self._heal_node, node)
         elif spec.kind == "correlated":
             self._fire_correlated(spec, tier_name, record, candidates)
+        elif spec.kind == "spot-interruption":
+            self._fire_spot(spec, tier_name, record)
+
+    def _fire_spot(self, spec: FaultSpec, tier_name: str, record) -> None:
+        """Drain-then-crash: the disruption is recorded at notice time
+        (that is when the replica leaves service); the reclaim itself is
+        logged as non-disruptive so MTTR is not double-counted."""
+        node = record.node
+        self._record(
+            "spot-interruption", node.name, tier_name,
+            f"notice={spec.duration_s:g}s",
+        )
+        engine = getattr(self.system, "market", None)
+        if engine is not None:
+            # Heterogeneous fleet: the market engine owns the whole
+            # notice/drain/reclaim sequence (and the provision ledger).
+            engine.interrupt(node, source="chaos")
+            return
+        if self.tracer is not None:
+            from repro.obs.events import InterruptionNotice
+
+            self.tracer.emit(InterruptionNotice(
+                self.kernel.now, node=node.name,
+                instance_type=getattr(node.instance, "name", "") or "",
+                deadline=self.kernel.now + spec.duration_s,
+                price=0.0, source="chaos",
+            ))
+        recovery = getattr(self.system, "recovery", None)
+        if recovery is not None:
+            server = getattr(record.component.content, "server", None)
+            if server is not None:
+                recovery.handle_interruption(server)
+        self._clear_at(spec.duration_s, self._reclaim_spot, node)
+
+    def _reclaim_spot(self, node) -> None:
+        # The notice at _fire_spot already counted this fault.
+        self._record("spot-reclaim", node.name, count=False)
+        if node.up:
+            node.crash()
+        self.system.cluster.discard(node)
 
     def _fire_correlated(self, spec, tier_name, record, candidates) -> None:
         racks = max(1, self.campaign.racks)

@@ -8,6 +8,7 @@ Run the paper's experiments without writing code::
     python -m repro steady --clients 80       # Table 1 operating point
     python -m repro recovery                  # crash + repair scenario
     python -m repro chaos --campaign gray --detector phi   # fault campaign
+    python -m repro market --scenario spot-heavy           # heterogeneous fleet
     python -m repro whatif --at 400           # fork mid-ramp, compare candidates
     python -m repro ramp --managed --csv out.csv   # export the series
 
@@ -212,6 +213,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool width for the seed fan-out",
     )
 
+    from repro.market.scenario import PRESETS as MARKET_PRESETS
+
+    market = sub.add_parser(
+        "market",
+        help="run the ramp on a heterogeneous spot/on-demand fleet and "
+        "print the fleet-cost scorecard (savings vs the uniform pool)",
+    )
+    market.add_argument(
+        "--scenario", default="spot-heavy", choices=sorted(MARKET_PRESETS),
+        help="named market scenario preset (default: spot-heavy)",
+    )
+    market.add_argument(
+        "--compare", action="store_true",
+        help="what-if over every preset fleet mix (plus the uniform "
+        "baseline) and rank the SLO-feasible mixes by cost",
+    )
+    market.add_argument(
+        "--seeds", default="1,2,3", metavar="LIST",
+        help="comma-separated seeds; CIs aggregate across them "
+        "(default 1,2,3)",
+    )
+    market.add_argument(
+        "--peak", type=int, default=500, help="ramp peak client count"
+    )
+    market.add_argument(
+        "--scale", type=float, default=0.15,
+        help="time compression of the ramp runs (default 0.15)",
+    )
+    market.add_argument(
+        "--slo", type=float, default=0.5, metavar="SEC",
+        help="latency SLO for the violation-time metric (default 0.5 s)",
+    )
+    market.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the canonical scorecard JSON (byte-stable across "
+        "serial/parallel/cached execution)",
+    )
+    market.add_argument(
+        "--events", action="store_true",
+        help="print the per-seed rebalance and interruption logs",
+    )
+    market.add_argument(
+        "--serial", action="store_true", help="run seeds in-process"
+    )
+    market.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+    market.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool width for the seed fan-out",
+    )
+
     whatif = sub.add_parser(
         "whatif",
         help="fork the ramp mid-run and compare candidate replica "
@@ -297,6 +350,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--peak", type=int, default=500, help="ramp peak client count"
+    )
+    sweep.add_argument(
+        "--fleet", default="uniform", metavar="LIST",
+        help="comma-separated fleet policies: 'uniform' (the paper's flat "
+        "pool) and/or market presets such as on-demand, balanced, "
+        "spot-heavy (default uniform)",
     )
     sweep.add_argument(
         "--csv", metavar="FILE", default=None,
@@ -807,6 +866,124 @@ def cmd_deploy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_market(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.market.costs import (
+        render_scorecard,
+        score_scenario,
+        scorecard_json,
+    )
+    from repro.market.scenario import PRESETS, market_config
+    from repro.market.whatif import evaluate_mixes, render_mixes
+    from repro.runner import ExperimentRunner, ResultCache
+
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+    if not seeds:
+        print("error: --seeds is empty", file=sys.stderr)
+        return 2
+    runner = ExperimentRunner(
+        max_workers=args.workers,
+        cache=None if args.no_cache else ResultCache(),
+        parallel=not args.serial,
+    )
+
+    if args.compare:
+        scenarios = [make() for _, make in sorted(PRESETS.items())]
+        print(
+            f"Comparing {len(scenarios)} fleet mixes + uniform baseline "
+            f"over seeds {', '.join(str(s) for s in seeds)}..."
+        )
+        table = evaluate_mixes(
+            scenarios,
+            seeds=seeds,
+            peak=args.peak,
+            scale=args.scale,
+            slo_latency_s=args.slo,
+            runner=runner,
+        )
+        if runner.cache is not None:
+            print(
+                f"  cache: {runner.cache.hits} hits / "
+                f"{runner.cache.misses} misses"
+            )
+        print()
+        for line in render_mixes(table):
+            print(line)
+        if args.json:
+            import json as _json
+
+            with open(args.json, "w") as fh:
+                _json.dump(table, fh, indent=2, default=float)
+                fh.write("\n")
+            print(f"\nComparison written to {args.json}")
+        return 0
+
+    scenario = PRESETS[args.scenario]()
+    print(
+        f"Scenario '{scenario.name}' (policy: {scenario.policy}, "
+        f"od floor {scenario.on_demand_floor:.0%}, "
+        f"hazard {scenario.interruption_hazard_per_hour:g}/h): "
+        f"ramp to {args.peak} at scale {args.scale:g}, "
+        f"seeds {', '.join(str(s) for s in seeds)}..."
+    )
+    labelled = {
+        f"{scenario.name}-s{seed}": market_config(
+            scenario, seed=seed, peak=args.peak, scale=args.scale
+        )
+        for seed in seeds
+    }
+    # uniform baseline arms for the cost comparison context
+    for seed in seeds:
+        labelled[f"uniform-s{seed}"] = replace(
+            market_config(scenario, seed=seed, peak=args.peak, scale=args.scale),
+            market=None,
+        )
+    runs = runner.run_many(labelled)
+    if runner.cache is not None:
+        print(
+            f"  cache: {runner.cache.hits} hits / {runner.cache.misses} misses"
+        )
+    scorecard = score_scenario(
+        scenario,
+        [runs[f"{scenario.name}-s{s}"] for s in seeds],
+        slo_latency_s=args.slo,
+    )
+    uniform_card = score_scenario(
+        None,
+        [runs[f"uniform-s{s}"] for s in seeds],
+        slo_latency_s=args.slo,
+        uniform=True,
+    )
+    print()
+    for line in render_scorecard(scorecard):
+        print(line)
+    uni_slo = uniform_card["aggregate"]["slo_violation_s"]["mean"]
+    print(
+        f"  uniform-pool SLO    : {uni_slo:.2f} s "
+        f"(delta {scorecard['aggregate']['slo_violation_s']['mean'] - uni_slo:+.2f} s)"
+    )
+    if args.events:
+        for seed in seeds:
+            stats = runs[f"{scenario.name}-s{seed}"].market
+            print(f"\nSeed {seed} events")
+            for entry in stats.rebalances:
+                print(
+                    f"  t={entry['t']:7.1f}s  rebalance [{entry['action']}] "
+                    f"{entry['detail']} (target {entry['target']:.1f} vCPU)"
+                )
+            for entry in stats.interruptions:
+                print(
+                    f"  t={entry['t']:7.1f}s  interruption {entry['node']} "
+                    f"({entry['source']}, reclaim at t={entry['deadline']:.1f}s)"
+                )
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(scorecard_json(scorecard))
+        print(f"\nScorecard written to {args.json}")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.runner import (
         ExperimentRunner,
@@ -826,12 +1003,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         policies=parse_list(args.policies, str),
         cohorts=parse_list(args.cohorts, int),
         peak=args.peak,
+        fleets=parse_list(args.fleet, str),
     )
     cells = spec.grid()
     print(
         f"Sweeping {len(cells)} cells: {len(spec.policies)} policies x "
         f"{len(spec.seeds)} seeds x {len(spec.scales)} scales x "
-        f"{len(spec.cohorts)} cohorts..."
+        f"{len(spec.cohorts)} cohorts x {len(spec.fleets)} fleets..."
     )
     runner = ExperimentRunner(
         max_workers=args.workers,
@@ -848,13 +1026,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"  cache: {result.cache['hits']} hits / "
             f"{result.cache['misses']} misses ({result.cache['dir']})"
         )
-    header = f"{'cell':<26s} {'thr (rps)':>9s} {'p95 (ms)':>9s} {'repl':>9s}"
+    header = (
+        f"{'cell':<32s} {'thr (rps)':>9s} {'p95 (ms)':>9s} {'repl':>9s} "
+        f"{'cost':>8s}"
+    )
     print("\n" + header)
     for row in result.rows:
         print(
-            f"{row['label']:<26s} {row['throughput_rps']:9.2f} "
+            f"{row['label']:<32s} {row['throughput_rps']:9.2f} "
             f"{row['latency_p95_ms']:9.1f} "
-            f"{'x' + str(int(row['app_replicas_max'])) + '/' + str(int(row['db_replicas_max'])):>9s}"
+            f"{'x' + str(int(row['app_replicas_max'])) + '/' + str(int(row['db_replicas_max'])):>9s} "
+            f"{row['fleet_cost']:8.3f}"
         )
     if args.csv:
         write_sweep_csv(result.rows, args.csv)
@@ -1006,6 +1188,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "recovery": cmd_recovery,
         "chaos": cmd_chaos,
         "deploy": cmd_deploy,
+        "market": cmd_market,
         "whatif": cmd_whatif,
         "sweep": cmd_sweep,
         "cache": cmd_cache,

@@ -5,6 +5,13 @@ of nodes (from a pool of available nodes) which will host the replicated
 servers of each tier" (§3.3).  Actuators call :meth:`ClusterManager.allocate`
 when a tier must grow and :meth:`ClusterManager.release` when it shrinks, so
 hardware is only held while needed — the resource-saving argument of §1.
+
+Beyond the paper: the pool is no longer necessarily uniform or fixed.  A
+:class:`~repro.market.allocator.FleetAllocator` may stock it with nodes of
+different instance types bought on different markets (:mod:`repro.market`),
+via :meth:`ClusterManager.add_node`, and the manager keeps a per-owner
+held-seconds ledger so cost reports can attribute spend to tiers instead
+of only pool totals.
 """
 
 from __future__ import annotations
@@ -40,6 +47,8 @@ class ClusterManager:
         self._allocated: dict[str, AllocationRecord] = {}
         self.allocations_total = 0
         self.releases_total = 0
+        #: closed (released/discarded) held time, per owner, in node-seconds
+        self._held_closed: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -83,8 +92,11 @@ class ClusterManager:
             )
             self.allocations_total += 1
             return node
+        up = sum(1 for n in self._free if n.up)
         raise NoFreeNodeError(
-            f"no free node for {owner!r} (pool={len(self._free)})"
+            f"no free node for {owner!r}: free={len(self._free)} "
+            f"(up={up}), allocated={len(self._allocated)}, "
+            f"predicate={'yes' if predicate is not None else 'no'}"
         )
 
     def release(self, node: Node) -> None:
@@ -93,14 +105,47 @@ class ClusterManager:
         rec = self._allocated.pop(node.name, None)
         if rec is None:
             raise ValueError(f"node {node.name} is not allocated")
+        self._close_held(rec)
         self.releases_total += 1
         self._free.append(node)
 
     def discard(self, node: Node) -> None:
         """Drop a crashed node from the manager entirely (it will never be
         allocated again).  Works whether the node was free or allocated."""
-        self._allocated.pop(node.name, None)
+        rec = self._allocated.pop(node.name, None)
+        if rec is not None:
+            self._close_held(rec)
         self._free = [n for n in self._free if n.name != node.name]
+
+    def add_node(self, node: Node) -> None:
+        """Stock the free pool with a newly provisioned node (fleet
+        allocators buy capacity at runtime; the paper's fixed pool is the
+        special case where this is never called)."""
+        if node.name in self._allocated or any(
+            n.name == node.name for n in self._free
+        ):
+            raise ValueError(f"node {node.name} already in pool")
+        self._free.append(node)
+
+    # ------------------------------------------------------------------
+    # Held-time ledger (cost attribution per owner)
+    # ------------------------------------------------------------------
+    def _close_held(self, rec: AllocationRecord) -> None:
+        held = rec.node.kernel.now - rec.since
+        if held > 0:
+            self._held_closed[rec.owner] = (
+                self._held_closed.get(rec.owner, 0.0) + held
+            )
+
+    def node_seconds_by_owner(self) -> dict[str, float]:
+        """Total node-seconds held per owner: closed allocations plus the
+        accrued time of allocations still live right now."""
+        totals = dict(self._held_closed)
+        for rec in self._allocated.values():
+            held = rec.node.kernel.now - rec.since
+            if held > 0:
+                totals[rec.owner] = totals.get(rec.owner, 0.0) + held
+        return totals
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -51,9 +51,18 @@ class Node:
         base_os_mb: float = 96.0,
         per_job_mb: float = 1.5,
         cpu_factory: Optional[Callable[..., CpuResource]] = None,
+        instance: Optional[object] = None,
+        market: str = "on-demand",
     ) -> None:
         self.kernel = kernel
         self.name = name
+        #: typed capacity/price profile when bought from a heterogeneous
+        #: market (an :class:`~repro.market.catalog.InstanceType`); None
+        #: for the paper's uniform pool
+        self.instance = instance
+        #: which market the node was bought on ("on-demand" or "spot");
+        #: spot nodes can receive interruption notices
+        self.market = market
         factory = cpu_factory or PsCpu
         self.cpu: CpuResource = factory(
             kernel, speed=cpu_speed, capacity_model=capacity_model, name=f"{name}.cpu"

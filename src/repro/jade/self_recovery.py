@@ -87,6 +87,13 @@ class SelfRecoveryManager:
     def _on_failure(self, server: object) -> None:
         self._handle_failure(server, "heartbeat")
 
+    def handle_interruption(self, server: object) -> None:
+        """Drain path for spot interruption notices (:mod:`repro.market`):
+        the market warns that the server's node will be reclaimed, so the
+        replica is repaired *now* — unbound, discarded and regrown on a
+        fresh node — instead of waiting for the crash at the deadline."""
+        self._handle_failure(server, "spot-notice")
+
     def _on_suspicion(self, server: object, phi: float, reason: str) -> None:
         self._handle_failure(server, f"detector:{reason}")
 

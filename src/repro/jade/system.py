@@ -55,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.capacity.proactive import ProactiveConfig
     from repro.chaos.campaign import ChaosCampaign
     from repro.deploy.scenario import DeployScenario
+    from repro.market.scenario import MarketScenario
 
 #: ADL description of the initial RUBiS deployment (§5.2: "Initially, the
 #: J2EE system is deployed with one application server (Tomcat) and one
@@ -121,6 +122,12 @@ class ExperimentConfig:
     #: ``repro.deploy`` — a picklable value like ``chaos``, so deploy
     #: runs are cacheable and fan out across seeds unchanged)
     deploy: Optional["DeployScenario"] = None
+    #: heterogeneous node market (extension; see ``repro.market`` — a
+    #: picklable value like ``chaos``/``deploy``: instance-type catalog,
+    #: spot price process with interruption notices, and a cost-aware
+    #: fleet allocator stocking the node pool in place of the paper's
+    #: fixed uniform pool of ``pool_nodes``)
+    market: Optional["MarketScenario"] = None
     #: sample node CPU/memory every second (Table 1)
     sample_nodes: bool = True
     #: extra simulated time after the profile ends (lets requests drain)
@@ -163,19 +170,50 @@ class ManagedSystem:
             if cfg.thrashing
             else (lambda n: 1.0)
         )
-        self.nodes = [
-            Node(
+        self.market = None
+        if cfg.market is not None:
+            # Heterogeneous fleet: the market engine stocks the pool with
+            # typed nodes (reserve on-demand first, then the policy mix)
+            # instead of the paper's fixed uniform `pool_nodes`.
+            from repro.market.engine import MarketEngine
+
+            def make_node(name, itype, node_market):
+                return Node(
+                    self.kernel,
+                    name,
+                    cpu_speed=cfg.node_speed * hs * itype.cpu_capacity,
+                    capacity_model=capacity,
+                    memory_mb=cal.node_memory_mb * hs * (itype.memory_mb / 1024.0),
+                    base_os_mb=cal.node_base_os_mb,
+                    per_job_mb=cal.per_job_mb,
+                    instance=itype,
+                    market=node_market,
+                )
+
+            self.market = MarketEngine(
                 self.kernel,
-                f"node{i}",
-                cpu_speed=cfg.node_speed * hs,
-                capacity_model=capacity,
-                memory_mb=cal.node_memory_mb * hs,
-                base_os_mb=cal.node_base_os_mb,
-                per_job_mb=cal.per_job_mb,
+                cfg.market,
+                self.streams,
+                make_node,
+                collector=self.collector,
+                pool_vcpus=float(cfg.pool_nodes),
             )
-            for i in range(1, cfg.pool_nodes + 1)
-        ]
-        self.cluster = ClusterManager(self.nodes)
+            self.nodes = self.market.nodes
+            self.cluster = self.market.cluster
+        else:
+            self.nodes = [
+                Node(
+                    self.kernel,
+                    f"node{i}",
+                    cpu_speed=cfg.node_speed * hs,
+                    capacity_model=capacity,
+                    memory_mb=cal.node_memory_mb * hs,
+                    base_os_mb=cal.node_base_os_mb,
+                    per_job_mb=cal.per_job_mb,
+                )
+                for i in range(1, cfg.pool_nodes + 1)
+            ]
+            self.cluster = ClusterManager(self.nodes)
         self.installer = SoftwareInstallationService(self.kernel, self.lan)
         for pkg in (
             Package("tomcat", "3.3.2", size_mb=18.0, setup_time_s=2.0, footprint_mb=24.0),
@@ -295,6 +333,13 @@ class ManagedSystem:
             # memory overhead).
             for node in self.nodes:
                 node.register_footprint("jade:mgmt", cal.jade_mgmt_footprint_mb)
+            if self.market is not None:
+                # ... including nodes the fleet allocator buys later.
+                self.market.node_decorators.append(
+                    lambda n: n.register_footprint(
+                        "jade:mgmt", cal.jade_mgmt_footprint_mb
+                    )
+                )
         if cfg.recovery:
             self.recovery = SelfRecoveryManager(
                 self.kernel,
@@ -324,6 +369,12 @@ class ManagedSystem:
                         failfast_ticks=cfg.chaos.failfast_ticks,
                     )
                 )
+
+        # --- market engine late-binding -----------------------------------
+        # The engine was built with the cluster (it owns the pool); now
+        # that tiers and recovery exist it can drain interrupted nodes.
+        if self.market is not None:
+            self.market.attach(self)
 
         # --- tier CPU recording for Figures 6 & 7 --------------------------
         # With Jade, the real probes' readings are recorded; without Jade a
@@ -464,6 +515,9 @@ class ManagedSystem:
             self.chaos.tracer = tracer
         if self.deploy is not None:
             self.deploy.tracer = tracer
+        if self.market is not None:
+            self.market.tracer = tracer
+            self.market.market.tracer = tracer
         if self.proactive is not None:
             self.proactive.tracer = tracer
             self.proactive.inhibition.tracer = tracer
@@ -519,6 +573,8 @@ class ManagedSystem:
             self.chaos.start()
         if self.deploy is not None:
             self.deploy.start()
+        if self.market is not None:
+            self.market.start()
         if cfg.sample_nodes:
             self._sampling_task = self.kernel.every(1.0, self._sample_nodes)
         for probe in self._passive_probes:
@@ -540,6 +596,8 @@ class ManagedSystem:
             self.chaos.stop()
         if self.deploy is not None:
             self.deploy.stop()
+        if self.market is not None:
+            self.market.stop()
         if self.tracer is not None:
             self.tracer.emit(
                 KernelStats(

@@ -1,0 +1,266 @@
+"""Cost-aware fleet allocation: shopping for nodes on the market.
+
+The paper's Cluster Manager hands out nodes from a fixed uniform pool.
+The :class:`FleetAllocator` *stocks* that pool instead: it buys nodes of
+catalog instance types on the on-demand or spot market and retires them
+when demand falls, choosing the mix greedily — best-fit-decreasing over
+price-per-effective-vCPU at current prices — under an **on-demand
+capacity floor** (the scenario's interruption-tolerance policy: at least
+``on_demand_floor`` of fleet capacity must be non-preemptible).
+
+The allocator only does the mechanics (offers, mix choice, provisioning,
+retirement, exact cost integration); *when* to rebalance and against
+what demand target is the :class:`~repro.market.engine.MarketEngine`'s
+plan loop.  Tier actuators keep calling the unchanged
+:meth:`~repro.cluster.allocator.ClusterManager.allocate` — the market is
+invisible to the paper's control loops, exactly as a cloud autoscaler
+is invisible to the application.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.market.catalog import InstanceType, by_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.allocator import ClusterManager
+    from repro.cluster.node import Node
+    from repro.market.scenario import MarketScenario
+    from repro.market.spot import SpotMarket
+    from repro.simulation.kernel import SimKernel
+
+
+class Offer:
+    """One purchasable (instance type, market) pair at its current price."""
+
+    __slots__ = ("itype", "market", "price")
+
+    def __init__(self, itype: InstanceType, market: str, price: float):
+        self.itype = itype
+        self.market = market
+        self.price = price
+
+    @property
+    def price_per_vcpu(self) -> float:
+        return self.price / self.itype.cpu_capacity
+
+    def sort_key(self) -> tuple:
+        # cheapest effective vCPUs first; among ties prefer bigger boxes
+        # (fewer nodes), then a total deterministic order.
+        return (
+            self.price_per_vcpu,
+            -self.itype.cpu_capacity,
+            self.itype.name,
+            self.market,
+        )
+
+
+class Provision:
+    """One node's market life: bought at ``t0``, returned at ``t1``."""
+
+    __slots__ = ("node_name", "type_name", "market", "t0", "t1", "reason")
+
+    def __init__(self, node_name: str, type_name: str, market: str, t0: float):
+        self.node_name = node_name
+        self.type_name = type_name
+        self.market = market
+        self.t0 = t0
+        self.t1: Optional[float] = None
+        self.reason: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "node": self.node_name,
+            "type": self.type_name,
+            "market": self.market,
+            "t0": self.t0,
+            "t1": self.t1,
+            "reason": self.reason,
+        }
+
+
+class FleetAllocator:
+    """Buys and retires nodes to stock a :class:`ClusterManager` pool."""
+
+    def __init__(
+        self,
+        kernel: "SimKernel",
+        scenario: "MarketScenario",
+        market: "SpotMarket",
+        cluster: "ClusterManager",
+        make_node: Callable[[str, InstanceType, str], "Node"],
+    ) -> None:
+        self.kernel = kernel
+        self.scenario = scenario
+        self.market = market
+        self.cluster = cluster
+        self.make_node = make_node
+        self._index = by_name(scenario.catalog)
+        self._counter = 0
+        #: full market history, open and closed (the cost report's input)
+        self.provisions: list[Provision] = []
+        self._open: dict[str, Provision] = {}
+
+    # ------------------------------------------------------------------
+    # Fleet state
+    # ------------------------------------------------------------------
+    def live_nodes(self) -> list["Node"]:
+        return [
+            n
+            for n in self.cluster.free_nodes() + self.cluster.allocated_nodes()
+            if n.name in self._open
+        ]
+
+    def live_capacity(self) -> tuple[float, float]:
+        """(on-demand, spot) effective vCPUs currently provisioned."""
+        od = spot = 0.0
+        for node in self.live_nodes():
+            cap = node.instance.cpu_capacity if node.instance else 1.0
+            if node.market == "spot":
+                spot += cap
+            else:
+                od += cap
+        return od, spot
+
+    # ------------------------------------------------------------------
+    # Shopping
+    # ------------------------------------------------------------------
+    def offers(self) -> list[Offer]:
+        """Current menu, cheapest effective vCPU first."""
+        menu: list[Offer] = []
+        for size in sorted(set(self.scenario.sizes)):
+            itype = self._index[size]
+            menu.append(Offer(itype, "on-demand", itype.hourly_price))
+            if itype.spot and self.scenario.on_demand_floor < 1.0:
+                menu.append(Offer(itype, "spot", self.market.price(size)))
+        menu.sort(key=Offer.sort_key)
+        return menu
+
+    def choose_mix(self, deficit_vcpus: float) -> list[Offer]:
+        """Greedy best-fit-decreasing: repeatedly take the cheapest offer
+        per effective vCPU, demoting spot picks to the cheapest on-demand
+        offer whenever they would sink the on-demand capacity floor."""
+        if deficit_vcpus <= 0:
+            return []
+        od, spot = self.live_capacity()
+        menu = self.offers()
+        od_menu = [o for o in menu if o.market == "on-demand"]
+        picks: list[Offer] = []
+        remaining = deficit_vcpus
+        floor = self.scenario.on_demand_floor
+        while remaining > 1e-9:
+            offer = menu[0]
+            if offer.market == "spot":
+                cap = offer.itype.cpu_capacity
+                total_after = od + spot + cap
+                if spot + cap > (1.0 - floor) * total_after + 1e-9:
+                    offer = od_menu[0]
+            cap = offer.itype.cpu_capacity
+            if offer.market == "spot":
+                spot += cap
+            else:
+                od += cap
+            picks.append(offer)
+            remaining -= cap
+        return picks
+
+    # ------------------------------------------------------------------
+    # Provisioning / retirement
+    # ------------------------------------------------------------------
+    def provision(self, itype: InstanceType, market: str) -> "Node":
+        """Buy one node and stock the free pool with it (after the
+        scenario's boot delay, if any)."""
+        self._counter += 1
+        name = f"mkt{self._counter}.{itype.name}.{'sp' if market == 'spot' else 'od'}"
+        node = self.make_node(name, itype, market)
+        prov = Provision(name, itype.name, market, self.kernel.now)
+        self.provisions.append(prov)
+        self._open[name] = prov
+        if self.scenario.boot_s > 0:
+            self.kernel.schedule(self.scenario.boot_s, self._join, node)
+        else:
+            self._join(node)
+        return node
+
+    def _join(self, node: "Node") -> None:
+        if node.up and node.name in self._open:
+            self.cluster.add_node(node)
+
+    def provision_mix(self, mix: list[Offer]) -> list["Node"]:
+        return [self.provision(o.itype, o.market) for o in mix]
+
+    def retire_excess(self, excess_vcpus: float) -> list["Node"]:
+        """Return up to ``excess_vcpus`` of *free* capacity to the market,
+        most-expensive-per-effective-vCPU first, never violating the
+        on-demand floor (so scale-down does not silently raise the fleet's
+        interruption exposure)."""
+        if excess_vcpus <= 0:
+            return []
+        od, spot = self.live_capacity()
+        floor = self.scenario.on_demand_floor
+
+        def current_price_per_vcpu(node: "Node") -> float:
+            itype = node.instance
+            price = (
+                self.market.price(itype.name)
+                if node.market == "spot"
+                else itype.hourly_price
+            )
+            return price / itype.cpu_capacity
+
+        candidates = sorted(
+            (n for n in self.cluster.free_nodes() if n.name in self._open),
+            key=lambda n: (-current_price_per_vcpu(n), n.name),
+        )
+        retired: list["Node"] = []
+        remaining = excess_vcpus
+        for node in candidates:
+            cap = node.instance.cpu_capacity if node.instance else 1.0
+            if cap > remaining + 1e-9:
+                continue
+            if node.market != "spot":
+                # would the fleet still satisfy the floor without it?
+                total_after = od - cap + spot
+                if total_after > 0 and od - cap < floor * total_after - 1e-9:
+                    continue
+                od -= cap
+            else:
+                spot -= cap
+            self.retire(node, reason="scale-down")
+            retired.append(node)
+            remaining -= cap
+        return retired
+
+    def retire(self, node: "Node", reason: str = "scale-down") -> None:
+        """Return a (free) node to the market and close its provision."""
+        self.cluster.discard(node)
+        self.close(node.name, reason=reason)
+
+    def close(self, node_name: str, reason: str = "scale-down") -> None:
+        """Close the provision record (idempotent; also used when a spot
+        node is reclaimed or crashes)."""
+        prov = self._open.pop(node_name, None)
+        if prov is not None:
+            prov.t1 = self.kernel.now
+            prov.reason = reason
+
+    # ------------------------------------------------------------------
+    # Cost
+    # ------------------------------------------------------------------
+    def fleet_cost(self, t_end: Optional[float] = None) -> float:
+        """Exact cost of every provision up to ``t_end`` (default: now),
+        integrating the piecewise-constant spot tape."""
+        end = self.kernel.now if t_end is None else t_end
+        total = 0.0
+        for prov in self.provisions:
+            t1 = end if prov.t1 is None else min(prov.t1, end)
+            total += self.market.integrate(prov.type_name, prov.market, prov.t0, t1)
+        return total
+
+    def node_seconds(self, t_end: Optional[float] = None) -> float:
+        end = self.kernel.now if t_end is None else t_end
+        return sum(
+            max(0.0, (end if p.t1 is None else min(p.t1, end)) - p.t0)
+            for p in self.provisions
+        )

@@ -1,0 +1,144 @@
+"""The spot market: a deterministic price process.
+
+Spot prices follow a mean-reverting lognormal walk per instance type,
+driven exclusively by the dedicated ``"market"`` RNG stream: every tick
+draws exactly one normal per spot-capable purchasable size, in sorted
+type order, **regardless of fleet state**.  The price series is therefore
+a pure function of (seed, scenario) — what the allocator or chaos does
+with the fleet can never perturb it, and serial/pool/cache runs see the
+same tape.
+
+The walk: with ``m`` the type's long-run mean spot price,
+
+    log p(t+1) = log p(t) + reversion * (log m - log p(t))
+                 + volatility * N(0, 1)
+
+clamped to ``[0.02, 1.0] × on-demand price`` (spot never exceeds the
+fixed-price market, as on real clouds for the regimes we model).  The
+full piecewise-constant price history is kept as plain data so fleet
+cost can be integrated exactly after the run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from repro.market.catalog import InstanceType, by_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.market.scenario import MarketScenario
+    from repro.obs.tracer import Tracer
+    from repro.simulation.kernel import SimKernel
+
+PRICE_FLOOR_FRACTION = 0.02
+
+
+class SpotMarket:
+    """Evolves spot prices for the scenario's purchasable types and
+    answers price queries from the fleet allocator and cost report."""
+
+    def __init__(
+        self,
+        kernel: "SimKernel",
+        scenario: "MarketScenario",
+        rng: "np.random.Generator",
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.scenario = scenario
+        self.rng = rng
+        self.tracer = tracer
+        index = by_name(scenario.catalog)
+        #: spot-capable purchasable types, sorted by name — the fixed
+        #: draw order that makes the price tape composition-insensitive
+        self.spot_types: tuple[InstanceType, ...] = tuple(
+            index[s] for s in sorted(set(scenario.sizes)) if index[s].spot
+        )
+        self._prices: dict[str, float] = {
+            t.name: t.spot_mean_price for t in self.spot_types
+        }
+        self._index = index
+        #: per-type piecewise-constant price history: [(t, price), ...]
+        self.history: dict[str, list[tuple[float, float]]] = {
+            t.name: [(0.0, t.spot_mean_price)] for t in self.spot_types
+        }
+        self.ticks = 0
+        self._task = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.spot_types and self._task is None:
+            self._task = self.kernel.every(self.scenario.tick_s, self._tick)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _tick(self) -> None:
+        self.ticks += 1
+        now = self.kernel.now
+        scn = self.scenario
+        for itype in self.spot_types:
+            mean = itype.spot_mean_price
+            prev = self._prices[itype.name]
+            step = (
+                math.log(prev)
+                + scn.reversion * (math.log(mean) - math.log(prev))
+                + scn.volatility * float(self.rng.normal())
+            )
+            price = math.exp(step)
+            lo = PRICE_FLOOR_FRACTION * itype.hourly_price
+            price = min(max(price, lo), itype.hourly_price)
+            self._prices[itype.name] = price
+            self.history[itype.name].append((now, price))
+            if self.tracer is not None:
+                from repro.obs.events import MarketPriceTick
+
+                self.tracer.emit(MarketPriceTick(
+                    t=now, instance_type=itype.name, price=round(price, 6),
+                ))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def price(self, type_name: str, market: str = "spot") -> float:
+        """Current hourly price for one node of ``type_name``."""
+        itype = self._index[type_name]
+        if market == "on-demand":
+            return itype.hourly_price
+        if type_name not in self._prices:
+            raise ValueError(f"{type_name!r} is not sold on the spot market")
+        return self._prices[type_name]
+
+    def price_pressure(self, type_name: str) -> float:
+        """Current spot price over its long-run mean — scales the
+        interruption hazard (expensive spot == scarce spot)."""
+        itype = self._index[type_name]
+        if type_name not in self._prices:
+            return 1.0
+        return self._prices[type_name] / itype.spot_mean_price
+
+    def integrate(
+        self, type_name: str, market: str, t0: float, t1: float
+    ) -> float:
+        """Exact cost of holding one ``type_name`` node over ``[t0, t1]``
+        (piecewise-constant spot tape; flat on-demand price)."""
+        if t1 <= t0:
+            return 0.0
+        itype = self._index[type_name]
+        if market == "on-demand" or type_name not in self.history:
+            return itype.hourly_price * (t1 - t0) / 3600.0
+        total = 0.0
+        tape = self.history[type_name]
+        for i, (start, price) in enumerate(tape):
+            end = tape[i + 1][0] if i + 1 < len(tape) else float("inf")
+            lo, hi = max(start, t0), min(end, t1)
+            if hi > lo:
+                total += price * (hi - lo) / 3600.0
+        return total

@@ -292,6 +292,44 @@ class RollbackTriggered(TraceEvent):
 
 
 @dataclass(frozen=True)
+class MarketPriceTick(TraceEvent):
+    """The spot market re-priced one instance type (``repro.market``)."""
+
+    kind: ClassVar[str] = "market-price-tick"
+
+    instance_type: str
+    price: float       # hourly spot price, cost-model units
+
+
+@dataclass(frozen=True)
+class InterruptionNotice(TraceEvent):
+    """The market warned that a spot node will be reclaimed at
+    ``deadline`` — the fleet has the notice window to drain it."""
+
+    kind: ClassVar[str] = "interruption-notice"
+
+    node: str
+    instance_type: str
+    deadline: float    # absolute simulated time of the reclaim
+    price: float       # spot price when the notice was issued
+    source: str = "market"   # "market" (hazard draw) | "chaos" (campaign)
+
+
+@dataclass(frozen=True)
+class FleetRebalanced(TraceEvent):
+    """The fleet allocator changed the provisioned mix (``cause`` links
+    back to the forecast or interruption that motivated it)."""
+
+    kind: ClassVar[str] = "fleet-rebalanced"
+
+    action: str        # "initial" | "provision" | "retire"
+    detail: str        # e.g. "2x std.small@spot"
+    target_vcpus: float
+    od_vcpus: float    # on-demand effective vCPUs after the change
+    spot_vcpus: float  # spot effective vCPUs after the change
+
+
+@dataclass(frozen=True)
 class KernelStats(TraceEvent):
     """Event-loop counters, emitted once at the end of a traced run."""
 
@@ -324,6 +362,9 @@ EVENT_KINDS = {
         ForecastIssued,
         WhatIfEvaluated,
         ProactiveDecision,
+        MarketPriceTick,
+        InterruptionNotice,
+        FleetRebalanced,
         KernelStats,
     )
 }

@@ -79,6 +79,20 @@ def _describe(record: dict) -> str:
             f"({record['reason']}){state} predicted={record['predicted']:.0f} "
             f"replicas={record['replicas']}"
         )
+    if kind == "market-price-tick":
+        return f"{record['instance_type']}: spot={record['price']:.3f}/h"
+    if kind == "interruption-notice":
+        return (
+            f"{record['node']} [{record['instance_type']}] reclaim at "
+            f"t={record['deadline']:.0f}s (spot={record['price']:.3f}/h, "
+            f"{record.get('source', 'market')})"
+        )
+    if kind == "fleet-rebalanced":
+        return (
+            f"{record['action']}: {record['detail']} "
+            f"target={record['target_vcpus']:.1f}vcpu "
+            f"fleet=od{record['od_vcpus']:.1f}+spot{record['spot_vcpus']:.1f}"
+        )
     if kind == "kernel-stats":
         return (
             f"events={record['events_processed']} "

@@ -203,6 +203,78 @@ class DeployStats:
         )
 
 
+class MarketStats:
+    """Plain-data distillate of a heterogeneous-fleet run: the provision
+    ledger, price tape, interruption and rebalance logs, and the exact
+    integrated fleet cost — everything :mod:`repro.market.costs` reads."""
+
+    __slots__ = (
+        "scenario",
+        "policy",
+        "on_demand_floor",
+        "fleet_cost",
+        "node_seconds",
+        "provisions",
+        "price_history",
+        "interruptions",
+        "rebalances",
+        "held_seconds_by_owner",
+        "nodes_provisioned",
+    )
+
+    def __init__(
+        self,
+        scenario: str,
+        policy: str,
+        on_demand_floor: float,
+        fleet_cost: float,
+        node_seconds: float,
+        provisions: list,
+        price_history: dict,
+        interruptions: list,
+        rebalances: list,
+        held_seconds_by_owner: dict,
+        nodes_provisioned: int,
+    ) -> None:
+        self.scenario = scenario
+        self.policy = policy
+        self.on_demand_floor = on_demand_floor
+        self.fleet_cost = fleet_cost
+        self.node_seconds = node_seconds
+        self.provisions = provisions
+        self.price_history = price_history
+        self.interruptions = interruptions
+        self.rebalances = rebalances
+        self.held_seconds_by_owner = held_seconds_by_owner
+        self.nodes_provisioned = nodes_provisioned
+
+    @classmethod
+    def from_system(cls, system) -> Optional["MarketStats"]:
+        engine = getattr(system, "market", None)
+        if engine is None:
+            return None
+        scenario = engine.scenario
+        return cls(
+            scenario=scenario.name,
+            policy=scenario.policy,
+            on_demand_floor=scenario.on_demand_floor,
+            fleet_cost=engine.fleet_cost(),
+            node_seconds=engine.allocator.node_seconds(),
+            provisions=[p.as_dict() for p in engine.allocator.provisions],
+            price_history=engine.price_history(),
+            interruptions=list(engine.interruptions),
+            rebalances=list(engine.rebalances),
+            held_seconds_by_owner=dict(engine.cluster.node_seconds_by_owner()),
+            nodes_provisioned=len(engine.allocator.provisions),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MarketStats({self.scenario}, {self.nodes_provisioned} nodes, "
+            f"cost={self.fleet_cost:.2f})"
+        )
+
+
 class CompletedRun:
     """Everything an analysis needs from a finished experiment.
 
@@ -220,6 +292,7 @@ class CompletedRun:
         "proactive",
         "chaos",
         "deploy",
+        "market",
         "events_processed",
         "wall_time_s",
     )
@@ -235,6 +308,7 @@ class CompletedRun:
         wall_time_s: float,
         chaos: Optional[ChaosStats] = None,
         deploy: Optional[DeployStats] = None,
+        market: Optional[MarketStats] = None,
     ) -> None:
         self.config = config
         self.collector = collector
@@ -243,6 +317,7 @@ class CompletedRun:
         self.proactive = proactive
         self.chaos = chaos
         self.deploy = deploy
+        self.market = market
         self.events_processed = events_processed
         self.wall_time_s = wall_time_s
 
@@ -264,6 +339,7 @@ class CompletedRun:
             collector=system.collector,
             chaos=ChaosStats.from_system(system),
             deploy=DeployStats.from_system(system),
+            market=MarketStats.from_system(system),
             app_tier=TierStats(
                 "application",
                 system.app_tier.grows_completed,

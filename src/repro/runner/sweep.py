@@ -14,6 +14,11 @@ Policies:
 * ``static``  — fixed one-replica tiers (the paper's unmanaged baseline);
 * ``managed`` — the reactive self-sizing managers of §5.2;
 * ``proactive`` — reactive managers plus the forecasting capacity planner.
+
+The optional **fleet** axis crosses every cell with a node-market policy
+(``--fleet on-demand,spot-heavy``): ``uniform`` is the paper's flat pool;
+any other value names a :data:`repro.market.scenario.PRESETS` entry and
+runs the cell on a heterogeneous fleet, adding a ``fleet_cost`` column.
 """
 
 from __future__ import annotations
@@ -46,13 +51,14 @@ SUMMARY_FIELDS = (
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One grid cell: a (policy, seed, scale, cohort) coordinate."""
+    """One grid cell: a (policy, seed, scale, cohort, fleet) coordinate."""
 
     policy: str
     seed: int
     scale: float
     cohort: int
     peak: int = 500
+    fleet: str = "uniform"
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -61,19 +67,39 @@ class SweepPoint:
             )
         if self.seed < 0 or self.scale <= 0 or self.cohort < 1:
             raise ValueError("need seed >= 0, scale > 0, cohort >= 1")
+        if self.fleet != "uniform":
+            from repro.market.scenario import PRESETS
+
+            if self.fleet not in PRESETS:
+                raise ValueError(
+                    f"unknown fleet {self.fleet!r} (choose 'uniform' or one "
+                    f"of {tuple(sorted(PRESETS))})"
+                )
 
     @property
     def label(self) -> str:
+        # fleet suffix only off the default, so pre-market sweep labels
+        # (and their cache keys) are unchanged
+        suffix = "" if self.fleet == "uniform" else f"-f{self.fleet}"
         return (
             f"{self.policy}-s{self.seed}-x{self.scale:g}-c{self.cohort}"
+            f"{suffix}"
         )
 
     def config(self):
         """The cell's experiment: the §5.2 ramp at this time scale and
-        cohort size, under this replica policy."""
+        cohort size, under this replica policy (and node market, if the
+        fleet axis is off ``uniform``)."""
         from repro.jade.system import ExperimentConfig
         from repro.workload.profiles import RampProfile
 
+        market = None
+        recovery = False
+        if self.fleet != "uniform":
+            from repro.market.scenario import PRESETS
+
+            market = PRESETS[self.fleet]()
+            recovery = True  # spot reclaims need the repair path armed
         return ExperimentConfig(
             profile=RampProfile(
                 base=80 * self.cohort,
@@ -88,6 +114,8 @@ class SweepPoint:
             proactive=self.policy == "proactive",
             cohort=self.cohort,
             hardware_scale=float(self.cohort),
+            recovery=recovery,
+            market=market,
         )
 
 
@@ -101,14 +129,16 @@ class SweepSpec:
     policies: tuple[str, ...] = ("static", "managed")
     cohorts: tuple[int, ...] = (1,)
     peak: int = 500
+    fleets: tuple[str, ...] = ("uniform",)
 
     def grid(self) -> list[SweepPoint]:
         return [
-            SweepPoint(policy, seed, scale, cohort, self.peak)
+            SweepPoint(policy, seed, scale, cohort, self.peak, fleet)
             for policy in self.policies
             for seed in self.seeds
             for scale in self.scales
             for cohort in self.cohorts
+            for fleet in self.fleets
         ]
 
     def to_record(self) -> dict:
@@ -118,6 +148,7 @@ class SweepSpec:
             "policies": list(self.policies),
             "cohorts": list(self.cohorts),
             "peak": self.peak,
+            "fleets": list(self.fleets),
             "cells": len(self.grid()),
         }
 
@@ -171,6 +202,7 @@ def run_sweep(
             "scale": point.scale,
             "cohort": point.cohort,
             "peak": point.peak,
+            "fleet": point.fleet,
         }
         summary = run.summary()
         for name in SUMMARY_FIELDS:
@@ -178,6 +210,14 @@ def run_sweep(
                 row[name] = run.wall_time_s
             else:
                 row[name] = summary[name]
+        # fleet-cost column: the exact integrated cost on a market cell,
+        # the flat uniform-pool price everywhere else
+        if run.market is not None:
+            row["fleet_cost"] = run.market.fleet_cost
+        else:
+            from repro.market.costs import uniform_fleet_cost
+
+            row["fleet_cost"] = uniform_fleet_cost(run.config)
         rows.append(row)
     cache = None
     if runner.cache is not None:

@@ -228,6 +228,85 @@ class TestClusterManager:
         assert cm.allocations_total == 2
         assert cm.releases_total == 1
 
+    def test_predicate_mismatch_reports_pool_state(self, kernel):
+        # A non-matching predicate over a non-empty pool must say so:
+        # the free count and the predicate's presence belong in the error.
+        cm = ClusterManager(make_nodes(kernel, 3))
+        cm.allocate("held")
+        with pytest.raises(NoFreeNodeError) as exc:
+            cm.allocate("tier:db", predicate=lambda n: n.name == "nope")
+        message = str(exc.value)
+        assert "'tier:db'" in message
+        assert "free=2" in message
+        assert "allocated=1" in message
+        assert "predicate=yes" in message
+
+    def test_exhaustion_message_without_predicate(self, kernel):
+        cm = ClusterManager(make_nodes(kernel, 1))
+        cm.allocate("a")
+        with pytest.raises(NoFreeNodeError) as exc:
+            cm.allocate("b")
+        message = str(exc.value)
+        assert "free=0" in message
+        assert "predicate=no" in message
+
+    def test_release_of_unallocated_node_rejected(self, kernel):
+        nodes = make_nodes(kernel, 2)
+        cm = ClusterManager(nodes)
+        # never allocated: releasing it is a caller bug, not a no-op
+        with pytest.raises(ValueError):
+            cm.release(nodes[1])
+
+    def test_fifo_stable_after_interleaved_churn(self, kernel):
+        nodes = make_nodes(kernel, 4)
+        cm = ClusterManager(nodes)
+        a = cm.allocate("a")  # node1
+        b = cm.allocate("b")  # node2
+        cm.release(a)         # free: node3, node4, node1
+        c = cm.allocate("c")  # node3
+        cm.release(b)         # free: node4, node1, node2
+        cm.release(c)         # free: node4, node1, node2, node3
+        order = [cm.allocate(f"x{i}").name for i in range(4)]
+        assert order == ["node4", "node1", "node2", "node3"]
+
+    def test_node_seconds_by_owner(self, kernel):
+        nodes = make_nodes(kernel, 3)
+        cm = ClusterManager(nodes)
+        n = cm.allocate("tier:app")
+        kernel.run(until=10.0)
+        cm.release(n)
+        m = cm.allocate("tier:db")
+        kernel.run(until=25.0)
+        held = cm.node_seconds_by_owner()
+        assert held["tier:app"] == pytest.approx(10.0)
+        # still allocated: accrues up to "now"
+        assert held["tier:db"] == pytest.approx(15.0)
+
+    def test_node_seconds_accumulates_per_owner(self, kernel):
+        nodes = make_nodes(kernel, 2)
+        cm = ClusterManager(nodes)
+        first = cm.allocate("tier:app")
+        kernel.run(until=5.0)
+        cm.release(first)
+        second = cm.allocate("tier:app")
+        kernel.run(until=8.0)
+        cm.discard(second)
+        assert cm.node_seconds_by_owner()["tier:app"] == pytest.approx(8.0)
+
+    def test_add_node_joins_pool(self, kernel):
+        cm = ClusterManager(make_nodes(kernel, 1))
+        late = Node(kernel, "late1")
+        cm.add_node(late)
+        assert cm.free_count == 2
+        cm.allocate("a")
+        assert cm.allocate("b") is late
+
+    def test_add_node_duplicate_name_rejected(self, kernel):
+        nodes = make_nodes(kernel, 1)
+        cm = ClusterManager(nodes)
+        with pytest.raises(ValueError):
+            cm.add_node(Node(kernel, "node1"))
+
 
 class TestInstaller:
     def make(self, kernel):
