@@ -1,6 +1,6 @@
 # Convenience targets for the Jade reproduction.
 
-.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check bench-whatif-check chaos-demo chaos-smoke deploy-demo deploy-smoke market-demo market-smoke figures examples trace-demo whatif-demo sweep-demo clean
+.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check bench-whatif-check chaos-demo chaos-smoke deploy-demo deploy-smoke market-demo market-smoke fluid-demo fluid-smoke figures examples trace-demo whatif-demo sweep-demo clean
 
 install:
 	pip install -e .
@@ -81,14 +81,25 @@ market-demo:
 market-smoke:
 	python benchmarks/bench_market.py --smoke
 
-# Engine benchmark: micro scenarios + multi-seed ramp pair through the
-# parallel cached runner; refreshes the committed BENCH_engine.json
-# (the chaos and deploy sections are re-merged by their own benchmarks).
+# Fluid workload demo: the paper's ramp on the flow engine, a hybrid
+# run switching between cohorts and fluid at 300 users, and the
+# million-user ramp.
+fluid-demo:
+	python -m repro ramp --fluid --scale 0.25
+	python -m repro ramp --fluid --fluid-threshold 300 --scale 0.25
+	python -m repro ramp --fluid --cohort 2000 --peak 1000000
+
+# Fast fluid gate used by CI: full-scale accuracy gate (identical
+# replica trajectories, latency/CPU within tolerance) + the 1M-user
+# wall-clock budget.
+fluid-smoke:
+	python benchmarks/bench_fluid.py --smoke
+
+# Engine benchmark: every BENCH_engine.json section (micro, ramp,
+# whatif, sweep, chaos, deploy, market, fluid) in one run; refreshes
+# the committed report.
 bench-engine:
 	python -m repro bench --out BENCH_engine.json
-	python benchmarks/bench_chaos.py --out BENCH_engine.json
-	python benchmarks/bench_deploy.py --out BENCH_engine.json
-	python benchmarks/bench_market.py --out BENCH_engine.json
 
 # Perf gate used by CI: fail if the micro scenarios regress >25% against
 # the committed report.

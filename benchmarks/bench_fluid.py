@@ -1,0 +1,72 @@
+"""Fluid workload engine benchmark: accuracy gate + million-user ramp.
+
+Runs the paper's full-scale Fig. 9 ramp twice — once with the discrete
+cohort emulator, once with the fluid flow engine — and asserts the
+headline: identical replica-count trajectories, latency/utilization
+trajectories within the documented tolerance, and a 1M-peak-user ramp
+inside the wall-clock budget.  ``python benchmarks/bench_fluid.py --out
+BENCH_engine.json`` merges the section into the committed engine report;
+``--smoke`` is the fast CI gate (laxer wall budget for slow runners).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.workload.fluid_bench import (
+    MILLION_BUDGET_S,
+    check_section,
+    render_section,
+    run_fluid_section,
+)
+
+#: wall budget (s) for the 1M ramp on shared CI runners
+SMOKE_BUDGET_S = 45.0
+
+
+def bench_fluid_accuracy(benchmark):
+    from benchmarks._shared import emit  # pytest puts the rootdir on sys.path
+
+    section = benchmark.pedantic(run_fluid_section, rounds=1, iterations=1)
+    emit("fluid", render_section(section))
+    check_section(section)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"fast CI gate: assertions only, {SMOKE_BUDGET_S:.0f} s "
+        "million-user budget",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="merge the fluid section into this engine report "
+        "(e.g. BENCH_engine.json; other sections are preserved)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--serial", action="store_true")
+    args = parser.parse_args(argv)
+
+    section = run_fluid_section(
+        seed=args.seed,
+        parallel=not args.serial,
+        million_budget_s=SMOKE_BUDGET_S if args.smoke else MILLION_BUDGET_S,
+    )
+    print(render_section(section))
+    check_section(section)
+    if args.out:
+        path = Path(args.out)
+        report = json.loads(path.read_text()) if path.exists() else {}
+        report["fluid"] = section
+        path.write_text(json.dumps(report, indent=2, default=float) + "\n")
+        print(f"\nfluid section merged into {args.out}")
+    print("fluid-smoke: PASS" if args.smoke else "\nfluid bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,6 +62,25 @@ def _add_scaling(parser: argparse.ArgumentParser) -> None:
         help="scale node speed/memory and the thrashing knee by H "
         "(default: the cohort size, i.e. weak scaling)",
     )
+    _add_fluid(parser)
+
+
+def _add_fluid(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fluid",
+        action="store_true",
+        help="replace per-cohort request events with the fluid flow "
+        "engine (mean-field ODE per tick; the control loops see the "
+        "same CPU/metrics signals)",
+    )
+    parser.add_argument(
+        "--fluid-threshold",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --fluid, run discrete cohorts below N emulated users "
+        "and the fluid engine at or above (0 = always fluid)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -357,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
         "pool) and/or market presets such as on-demand, balanced, "
         "spot-heavy (default uniform)",
     )
+    _add_fluid(sweep)
     sweep.add_argument(
         "--csv", metavar="FILE", default=None,
         help="write one row per grid cell as CSV",
@@ -426,10 +446,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-cache", action="store_true", help="bypass the result cache"
     )
+    from repro.runner.bench import SECTIONS
+
     bench.add_argument(
         "--micro-only", action="store_true",
-        help="skip the ramp replication and the what-if/sweep sections",
+        help="run only the micro scenarios (skip every registry section)",
     )
+    bench.add_argument(
+        "--skip", action="append", default=[], choices=sorted(SECTIONS),
+        metavar="SECTION",
+        help="skip one report section (repeatable; choices: "
+        f"{', '.join(SECTIONS)})",
+    )
+    _add_fluid(bench)
     bench.add_argument(
         "--check-whatif", metavar="FILE", default=None,
         help="perf-smoke mode: validate the committed whatif section and "
@@ -476,6 +505,17 @@ def _print_summary(system: ManagedSystem) -> None:
         print("\nReconfigurations")
         for t, desc in col.reconfigurations:
             print(f"  t={t:8.1f}s  {desc}")
+    fluid_stats = getattr(system.emulator, "fluid_stats", None)
+    if fluid_stats is not None:
+        stats = fluid_stats()
+        print(
+            f"\nFluid engine: {stats['ticks']} flow ticks, "
+            f"{stats['completions']:,.0f} completions, "
+            f"{stats['handoffs_to_fluid']} handoffs to fluid / "
+            f"{stats['handoffs_to_discrete']} back to discrete "
+            f"(threshold {stats['threshold']}, "
+            f"peak fluid population {stats['peak_fluid_population']:,})"
+        )
     proactive = getattr(system, "proactive", None)
     if proactive is not None:
         print(
@@ -555,6 +595,7 @@ def cmd_ramp(args: argparse.Namespace) -> int:
         profile=profile, seed=args.seed, managed=not args.static,
         proactive=args.proactive, trace_jsonl=args.trace,
         cohort=args.cohort, hardware_scale=hs,
+        fluid=args.fluid, fluid_threshold=args.fluid_threshold,
     )
     _run(config, args.csv)
     return 0
@@ -570,6 +611,8 @@ def cmd_steady(args: argparse.Namespace) -> int:
         trace_jsonl=args.trace,
         cohort=args.cohort,
         hardware_scale=hs,
+        fluid=args.fluid,
+        fluid_threshold=args.fluid_threshold,
     )
     _run(config, args.csv)
     return 0
@@ -1004,6 +1047,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         cohorts=parse_list(args.cohorts, int),
         peak=args.peak,
         fleets=parse_list(args.fleet, str),
+        fluid=args.fluid,
+        fluid_threshold=args.fluid_threshold,
     )
     cells = spec.grid()
     print(
@@ -1095,6 +1140,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("perf-smoke:", "PASS" if ok else "FAIL")
         return 0 if ok else 1
 
+    from repro.runner.bench import SECTIONS
+
+    skip = set(SECTIONS) if args.micro_only else set(args.skip)
     report = run_bench(
         out_path=args.out,
         seeds=tuple(range(1, args.seeds + 1)),
@@ -1102,10 +1150,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         rounds=args.rounds,
         parallel=not args.serial,
         use_cache=not args.no_cache,
-        skip_ramp=args.micro_only,
-        skip_whatif=args.micro_only,
-        skip_deploy=args.micro_only,
+        skip=skip,
         whatif_candidates=args.whatif_candidates,
+        fluid=args.fluid,
+        fluid_threshold=args.fluid_threshold,
     )
     micro = report["micro"]
     print("Micro scenarios (best of {}):".format(args.rounds))
@@ -1160,11 +1208,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{s['cold']['rows_per_s']:.1f} rows/s, warm "
             f"{s['warm']['rows_per_s']:.0f} rows/s (cache-resolved)"
         )
-    if "deploy" in report:
-        from repro.deploy.bench import render_section
+    for name, module in (
+        ("chaos", "repro.chaos.bench"),
+        ("deploy", "repro.deploy.bench"),
+        ("market", "repro.market.bench"),
+        ("fluid", "repro.workload.fluid_bench"),
+    ):
+        if name in report:
+            import importlib
 
-        print()
-        print(render_section(report["deploy"]))
+            render = importlib.import_module(module).render_section
+            print()
+            print(render(report[name]))
     if args.out:
         print(f"\nReport written to {args.out}")
     return 0

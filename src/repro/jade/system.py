@@ -99,6 +99,17 @@ class ExperimentConfig:
     #: scaling: hardware_scale == cohort keeps per-constituent utilization
     #: identical to the unscaled run)
     hardware_scale: float = 1.0
+    #: drive the workload with the mean-field fluid engine (see
+    #: ``repro.workload.fluid``) instead of discrete cohort events; the
+    #: control loops only see sampled CPU, so they run unmodified
+    fluid: bool = False
+    #: hybrid handoff point: populations below this run discrete cohorts,
+    #: at/above it the fluid flow takes over (<= 0 = always fluid; only
+    #: meaningful with ``fluid=True``)
+    fluid_threshold: int = 0
+    #: coarse tick of the fluid flow update (also the hybrid dispatcher's
+    #: population-adjustment cadence; 1 s matches the probe period)
+    fluid_tick_s: float = 1.0
     inhibition_s: float = 60.0
     app_loop: LoopConfig = field(default_factory=lambda: replace(APP_LOOP_DEFAULTS))
     db_loop: LoopConfig = field(default_factory=lambda: replace(DB_LOOP_DEFAULTS))
@@ -405,16 +416,56 @@ class ManagedSystem:
                 self._passive_probes.append(probe)
 
         # --- workload ----------------------------------------------------
-        self.emulator = ClientEmulator(
-            self.kernel,
-            entry=self.entry,
-            profile=cfg.profile,
-            collector=self.collector,
-            streams=self.streams,
-            calibration=cal,
-            request_timeout_s=cfg.client_timeout_s,
-            cohort=cfg.cohort,
-        )
+        if cfg.fluid:
+            # Hybrid fluid/discrete engine: cohorts below the threshold,
+            # mean-field flow above it.  The engine reads the live tier
+            # membership through the same ``active_nodes`` providers the
+            # CPU probes use, so reconfigurations (and market/chaos node
+            # churn) are reflected on the next tick.
+            from repro.workload.fluid import FluidEngine, HybridWorkload
+
+            engine = FluidEngine(
+                self.kernel,
+                self.collector,
+                calibration=cal,
+                app_nodes=self.app_tier.active_nodes,
+                db_nodes=self.db_tier.active_nodes,
+                balancers=(
+                    (
+                        self.app.node_of(self.plb),
+                        self.plb.content.balancer.proxy_demand,
+                    ),
+                    (
+                        self.app.node_of(self.cjdbc),
+                        self.cjdbc.content.controller.route_demand,
+                    ),
+                ),
+                lan=self.lan,
+            )
+            self.emulator = HybridWorkload(
+                self.kernel,
+                entry=self.entry,
+                profile=cfg.profile,
+                collector=self.collector,
+                streams=self.streams,
+                engine=engine,
+                calibration=cal,
+                threshold=cfg.fluid_threshold,
+                tick_s=cfg.fluid_tick_s,
+                request_timeout_s=cfg.client_timeout_s,
+                cohort=cfg.cohort,
+            )
+        else:
+            self.emulator = ClientEmulator(
+                self.kernel,
+                entry=self.entry,
+                profile=cfg.profile,
+                collector=self.collector,
+                streams=self.streams,
+                calibration=cal,
+                request_timeout_s=cfg.client_timeout_s,
+                cohort=cfg.cohort,
+            )
 
         # --- proactive capacity manager (extension) ----------------------
         # Built after the emulator so its load provider can read the live

@@ -1,15 +1,13 @@
 """The ``repro bench`` engine benchmark.
 
-Two layers, written together to ``BENCH_engine.json``:
-
-* **micro** — the kernel and PS-CPU scenarios from
-  ``benchmarks/bench_micro_engine.py``, timed best-of-N against the
-  committed pre-optimization baselines, reporting events/s, jobs/s and
-  speedups;
-* **ramp** — a multi-seed replication of the managed/static §5.2 ramp pair
-  through the parallel cached runner, reporting per-arm means with 95 %
-  confidence intervals plus the parallel-vs-serial wall-clock and cache
-  statistics.
+The always-on **micro** layer times the kernel and PS-CPU scenarios from
+``benchmarks/bench_micro_engine.py`` best-of-N against the committed
+pre-optimization baselines (events/s, jobs/s, speedups).  Every other
+section of BENCH_engine.json — ramp, whatif, sweep, chaos, deploy,
+market, fluid — lives in the :data:`SECTIONS` registry and is skipped
+through the single ``skip`` parameter (``repro bench --skip NAME``;
+``--micro-only`` skips them all), so a full committed report is one
+``repro bench --out BENCH_engine.json`` invocation.
 
 The CI perf-smoke job runs ``repro bench --check BENCH_engine.json`` and
 fails if the fresh micro timings drift more than the tolerance from the
@@ -110,7 +108,13 @@ def _stats(values: Sequence[float]) -> dict[str, float]:
     return {"mean": mean, "ci95": ci, "n": len(arr)}
 
 
-def _ramp_config(managed: bool, seed: int, scale: float):
+def _ramp_config(
+    managed: bool,
+    seed: int,
+    scale: float,
+    fluid: bool = False,
+    fluid_threshold: int = 0,
+):
     from repro.jade.system import ExperimentConfig
     from repro.workload.profiles import RampProfile
 
@@ -122,6 +126,8 @@ def _ramp_config(managed: bool, seed: int, scale: float):
         ),
         seed=seed,
         managed=managed,
+        fluid=fluid,
+        fluid_threshold=fluid_threshold,
     )
 
 
@@ -129,6 +135,8 @@ def run_ramp_replication(
     seeds: Sequence[int],
     scale: float,
     runner: ExperimentRunner,
+    fluid: bool = False,
+    fluid_threshold: int = 0,
 ) -> dict:
     """Run the managed/static ramp pair for every seed and aggregate.
 
@@ -141,8 +149,12 @@ def run_ramp_replication(
     """
     configs = {}
     for seed in seeds:
-        configs[f"managed-{seed}"] = _ramp_config(True, seed, scale)
-        configs[f"static-{seed}"] = _ramp_config(False, seed, scale)
+        configs[f"managed-{seed}"] = _ramp_config(
+            True, seed, scale, fluid, fluid_threshold
+        )
+        configs[f"static-{seed}"] = _ramp_config(
+            False, seed, scale, fluid, fluid_threshold
+        )
 
     def timed_pass() -> tuple[dict, dict]:
         hits0 = misses0 = 0
@@ -175,6 +187,7 @@ def run_ramp_replication(
     serial_estimate = sum(r.wall_time_s for r in results.values())
     block = {
         "scale": scale,
+        "fluid": fluid,
         "seeds": list(seeds),
         "arms": arms,
         "runs": len(results),
@@ -346,8 +359,84 @@ def run_sweep_bench() -> dict:
 
 
 # ----------------------------------------------------------------------
-# Entry points
+# Section registry + entry points
 # ----------------------------------------------------------------------
+def _section_ramp(ctx: dict) -> dict:
+    runner = ExperimentRunner(
+        cache=ResultCache() if ctx["use_cache"] else None,
+        parallel=ctx["parallel"],
+    )
+    return run_ramp_replication(
+        ctx["seeds"],
+        ctx["scale"],
+        runner,
+        fluid=ctx["fluid"],
+        fluid_threshold=ctx["fluid_threshold"],
+    )
+
+
+def _section_whatif(ctx: dict) -> dict:
+    return run_whatif_bench(candidates=ctx["whatif_candidates"])
+
+
+def _section_sweep(ctx: dict) -> dict:
+    return run_sweep_bench()
+
+
+def _section_chaos(ctx: dict) -> dict:
+    from repro.chaos.bench import run_chaos_section
+
+    return run_chaos_section(
+        seeds=ctx["seeds"],
+        parallel=ctx["parallel"],
+        use_cache=ctx["use_cache"],
+    )
+
+
+def _section_deploy(ctx: dict) -> dict:
+    from repro.deploy.bench import run_deploy_section
+
+    return run_deploy_section(
+        seeds=ctx["seeds"],
+        parallel=ctx["parallel"],
+        use_cache=ctx["use_cache"],
+    )
+
+
+def _section_market(ctx: dict) -> dict:
+    from repro.market.bench import run_market_section
+
+    return run_market_section(
+        seeds=ctx["seeds"],
+        parallel=ctx["parallel"],
+        use_cache=ctx["use_cache"],
+    )
+
+
+def _section_fluid(ctx: dict) -> dict:
+    from repro.workload.fluid_bench import run_fluid_section
+
+    return run_fluid_section(
+        seed=ctx["seeds"][0],
+        parallel=ctx["parallel"],
+        use_cache=ctx["use_cache"],
+    )
+
+
+#: every BENCH_engine.json section beyond the always-on ``micro`` block,
+#: in report order.  ``run_bench(skip=...)`` names entries here — the one
+#: skip mechanism for all subsystem benches (``--micro-only`` == skip all).
+SECTIONS = {
+    "ramp": _section_ramp,
+    "whatif": _section_whatif,
+    "sweep": _section_sweep,
+    "chaos": _section_chaos,
+    "deploy": _section_deploy,
+    "market": _section_market,
+    "fluid": _section_fluid,
+}
+
+
 def run_bench(
     out_path: Optional[str] = None,
     seeds: Sequence[int] = (1, 2, 3),
@@ -355,27 +444,37 @@ def run_bench(
     rounds: int = 10,
     parallel: bool = True,
     use_cache: bool = True,
-    skip_ramp: bool = False,
-    skip_whatif: bool = False,
-    skip_deploy: bool = False,
+    skip: Sequence[str] = (),
     whatif_candidates: int = 8,
+    fluid: bool = False,
+    fluid_threshold: int = 0,
 ) -> dict:
-    """Run the full engine benchmark; optionally write BENCH_engine.json."""
-    report: dict = {"micro": run_micro(rounds)}
-    if not skip_ramp:
-        runner = ExperimentRunner(
-            cache=ResultCache() if use_cache else None, parallel=parallel
-        )
-        report["ramp"] = run_ramp_replication(seeds, scale, runner)
-    if not skip_whatif:
-        report["whatif"] = run_whatif_bench(candidates=whatif_candidates)
-        report["sweep"] = run_sweep_bench()
-    if not skip_deploy:
-        from repro.deploy.bench import run_deploy_section
+    """Run the full engine benchmark; optionally write BENCH_engine.json.
 
-        report["deploy"] = run_deploy_section(
-            seeds=seeds, parallel=parallel, use_cache=use_cache
+    ``skip`` names :data:`SECTIONS` entries to leave out; everything else
+    runs in registry order after the micro scenarios.  ``fluid`` /
+    ``fluid_threshold`` switch the ramp-replication arms onto the hybrid
+    fluid workload engine (the dedicated ``fluid`` section always
+    benchmarks both modes)."""
+    unknown = set(skip) - set(SECTIONS)
+    if unknown:
+        raise ValueError(
+            f"unknown bench section(s) {sorted(unknown)}; "
+            f"choose from {list(SECTIONS)}"
         )
+    ctx = {
+        "seeds": tuple(seeds),
+        "scale": scale,
+        "parallel": parallel,
+        "use_cache": use_cache,
+        "whatif_candidates": whatif_candidates,
+        "fluid": fluid,
+        "fluid_threshold": fluid_threshold,
+    }
+    report: dict = {"micro": run_micro(rounds)}
+    for name, section in SECTIONS.items():
+        if name not in skip:
+            report[name] = section(ctx)
     if out_path:
         Path(out_path).write_text(
             json.dumps(report, indent=2, default=float) + "\n"

@@ -275,6 +275,50 @@ class MarketStats:
         )
 
 
+class FluidStats:
+    """Plain-data distillate of a hybrid fluid/discrete workload run:
+    tick/handoff counters from :class:`repro.workload.fluid.HybridWorkload`."""
+
+    __slots__ = (
+        "ticks",
+        "completions",
+        "handoffs_to_fluid",
+        "handoffs_to_discrete",
+        "peak_fluid_population",
+        "threshold",
+    )
+
+    def __init__(
+        self,
+        ticks: int,
+        completions: int,
+        handoffs_to_fluid: int,
+        handoffs_to_discrete: int,
+        peak_fluid_population: int,
+        threshold: int,
+    ) -> None:
+        self.ticks = ticks
+        self.completions = completions
+        self.handoffs_to_fluid = handoffs_to_fluid
+        self.handoffs_to_discrete = handoffs_to_discrete
+        self.peak_fluid_population = peak_fluid_population
+        self.threshold = threshold
+
+    @classmethod
+    def from_system(cls, system) -> Optional["FluidStats"]:
+        emulator = getattr(system, "emulator", None)
+        stats = getattr(emulator, "fluid_stats", None)
+        if stats is None:
+            return None
+        return cls(**stats())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FluidStats({self.ticks} ticks, {self.completions} completions, "
+            f"peak={self.peak_fluid_population})"
+        )
+
+
 class CompletedRun:
     """Everything an analysis needs from a finished experiment.
 
@@ -293,6 +337,7 @@ class CompletedRun:
         "chaos",
         "deploy",
         "market",
+        "fluid",
         "events_processed",
         "wall_time_s",
     )
@@ -309,6 +354,7 @@ class CompletedRun:
         chaos: Optional[ChaosStats] = None,
         deploy: Optional[DeployStats] = None,
         market: Optional[MarketStats] = None,
+        fluid: Optional[FluidStats] = None,
     ) -> None:
         self.config = config
         self.collector = collector
@@ -318,6 +364,7 @@ class CompletedRun:
         self.chaos = chaos
         self.deploy = deploy
         self.market = market
+        self.fluid = fluid
         self.events_processed = events_processed
         self.wall_time_s = wall_time_s
 
@@ -340,6 +387,7 @@ class CompletedRun:
             chaos=ChaosStats.from_system(system),
             deploy=DeployStats.from_system(system),
             market=MarketStats.from_system(system),
+            fluid=FluidStats.from_system(system),
             app_tier=TierStats(
                 "application",
                 system.app_tier.grows_completed,

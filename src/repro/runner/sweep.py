@@ -51,7 +51,10 @@ SUMMARY_FIELDS = (
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One grid cell: a (policy, seed, scale, cohort, fleet) coordinate."""
+    """One grid cell: a (policy, seed, scale, cohort, fleet) coordinate.
+
+    ``fluid`` switches the cell's workload onto the hybrid fluid/discrete
+    engine (``fluid_threshold`` users and above run as flow updates)."""
 
     policy: str
     seed: int
@@ -59,6 +62,8 @@ class SweepPoint:
     cohort: int
     peak: int = 500
     fleet: str = "uniform"
+    fluid: bool = False
+    fluid_threshold: int = 0
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -78,9 +83,11 @@ class SweepPoint:
 
     @property
     def label(self) -> str:
-        # fleet suffix only off the default, so pre-market sweep labels
-        # (and their cache keys) are unchanged
+        # fleet/fluid suffixes only off the defaults, so pre-existing
+        # sweep labels (and their cache keys) are unchanged
         suffix = "" if self.fleet == "uniform" else f"-f{self.fleet}"
+        if self.fluid:
+            suffix += f"-fluid{self.fluid_threshold}"
         return (
             f"{self.policy}-s{self.seed}-x{self.scale:g}-c{self.cohort}"
             f"{suffix}"
@@ -116,6 +123,8 @@ class SweepPoint:
             hardware_scale=float(self.cohort),
             recovery=recovery,
             market=market,
+            fluid=self.fluid,
+            fluid_threshold=self.fluid_threshold,
         )
 
 
@@ -130,10 +139,15 @@ class SweepSpec:
     cohorts: tuple[int, ...] = (1,)
     peak: int = 500
     fleets: tuple[str, ...] = ("uniform",)
+    fluid: bool = False
+    fluid_threshold: int = 0
 
     def grid(self) -> list[SweepPoint]:
         return [
-            SweepPoint(policy, seed, scale, cohort, self.peak, fleet)
+            SweepPoint(
+                policy, seed, scale, cohort, self.peak, fleet,
+                self.fluid, self.fluid_threshold,
+            )
             for policy in self.policies
             for seed in self.seeds
             for scale in self.scales
@@ -149,6 +163,8 @@ class SweepSpec:
             "cohorts": list(self.cohorts),
             "peak": self.peak,
             "fleets": list(self.fleets),
+            "fluid": self.fluid,
+            "fluid_threshold": self.fluid_threshold,
             "cells": len(self.grid()),
         }
 

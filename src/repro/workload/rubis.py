@@ -19,6 +19,7 @@ Two navigators are provided:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -125,15 +126,42 @@ class RubisModel:
         self.cal = calibration
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
+    #: aggregate shape above which the Gamma draw switches to its Gaussian
+    #: limit.  At the default per-request shape of 4 this is cohorts of
+    #: K >= 10_000.  Below the switch the draw is the exact Gamma sum
+    #: (bit-identical to the historical behaviour); above it the
+    #: central-limit normal has relative skew ``2/sqrt(k) < 1%``, and —
+    #: unlike an astronomically-shaped ``rng.gamma`` — it can never
+    #: silently return ``inf`` when ``shape * weight`` overflows the
+    #: float range (``rng.gamma(inf, s)`` returns ``inf`` without raising,
+    #: which would wedge the simulated CPU forever).
+    GAUSSIAN_LIMIT_SHAPE = 4.0e4
+
     def _vary(self, mean: float, weight: int = 1) -> float:
         """Draw one demand — or, for ``weight > 1``, the *sum* of ``weight``
         i.i.d. demands in a single draw (Gamma additivity: the sum of ``w``
         ``Gamma(shape, scale)`` variates is ``Gamma(w * shape, scale)``).
-        At ``weight == 1`` the RNG consumption is unchanged."""
+        At ``weight == 1`` the RNG consumption is unchanged.
+
+        Valid range: any ``weight`` with finite ``shape * weight`` and
+        ``mean * weight``.  Aggregate shapes at or above
+        :data:`GAUSSIAN_LIMIT_SHAPE` use the Gaussian limit (one normal
+        draw, clipped at zero); non-finite aggregates raise instead of
+        producing a silent ``inf`` demand."""
         shape = self.cal.demand_gamma_shape
         if not shape or mean <= 0.0:
             return mean * weight
-        return float(self.rng.gamma(shape * weight, mean / shape))
+        k = shape * weight
+        total = mean * weight
+        if not (math.isfinite(k) and math.isfinite(total)):
+            raise ValueError(
+                f"demand draw overflow: shape*weight={k!r}, "
+                f"mean*weight={total!r} (weight={weight})"
+            )
+        if k >= self.GAUSSIAN_LIMIT_SHAPE:
+            draw = total + (total / math.sqrt(k)) * self.rng.standard_normal()
+            return float(max(draw, 0.0))
+        return float(self.rng.gamma(k, mean / shape))
 
     def make_request(
         self,
