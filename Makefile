@@ -1,6 +1,6 @@
 # Convenience targets for the Jade reproduction.
 
-.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check bench-whatif-check chaos-demo chaos-smoke deploy-demo deploy-smoke market-demo market-smoke fluid-demo fluid-smoke figures examples trace-demo whatif-demo sweep-demo clean
+.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check bench-whatif-check chaos-demo chaos-smoke deploy-demo deploy-smoke market-demo market-smoke fluid-demo fluid-smoke federate-demo federation-smoke figures examples trace-demo whatif-demo sweep-demo clean
 
 install:
 	pip install -e .
@@ -95,9 +95,25 @@ fluid-demo:
 fluid-smoke:
 	python benchmarks/bench_fluid.py --smoke
 
+# Multi-region federation demo: a 3-region follow-the-sun cycle, a
+# 2-region evacuation with the epoch routing log, and the 4-region
+# global ramp's canonical scorecard.
+federate-demo:
+	python -m repro federate --scenario follow-the-sun --regions 3 --serial
+	python -m repro federate --scenario evacuation --regions 2 \
+		--events --serial
+	python -m repro federate --scenario global-ramp --regions 4 \
+		--json /tmp/repro-federation.json
+	@echo "canonical scorecard: /tmp/repro-federation.json"
+
+# Fast federation gate used by CI: 2 regions, serial-vs-parallel
+# byte-identity + critical-path speedup floor.
+federation-smoke:
+	python benchmarks/bench_federation.py --smoke
+
 # Engine benchmark: every BENCH_engine.json section (micro, ramp,
-# whatif, sweep, chaos, deploy, market, fluid) in one run; refreshes
-# the committed report.
+# whatif, sweep, chaos, deploy, market, fluid, federation) in one run;
+# refreshes the committed report.
 bench-engine:
 	python -m repro bench --out BENCH_engine.json
 

@@ -1,0 +1,73 @@
+"""Federation benchmark: near-linear multi-region speedup + byte-identity.
+
+Runs a federated Fig. 9 ramp twice — every region in one process, then
+one persistent worker process per region — and asserts the headline:
+byte-identical per-region scorecards and a critical-path speedup that
+approaches the region count (>= 3x on 4 regions for the committed
+report).  The cross-region scenarios (2-region evacuation, 3-region
+follow-the-sun) run inside the section.  ``python
+benchmarks/bench_federation.py --out BENCH_engine.json`` merges the
+section into the committed engine report; ``--smoke`` is the fast CI
+gate (2 regions, laxer speedup floor for shared runners).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.federation.bench import (
+    check_section,
+    render_section,
+    run_federation_section,
+)
+
+
+def bench_federation(benchmark):
+    from benchmarks._shared import emit  # pytest puts the rootdir on sys.path
+
+    section = benchmark.pedantic(
+        run_federation_section, rounds=1, iterations=1
+    )
+    emit("federation", render_section(section))
+    check_section(section)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI gate: 2 regions, reduced scale, lax speedup floor",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="merge the federation section into this engine report "
+        "(e.g. BENCH_engine.json; other sections are preserved)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--regions", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    section = run_federation_section(
+        seed=args.seed,
+        scale=args.scale,
+        regions=args.regions,
+        smoke=args.smoke,
+    )
+    print(render_section(section))
+    check_section(section)
+    if args.out:
+        path = Path(args.out)
+        report = json.loads(path.read_text()) if path.exists() else {}
+        report["federation"] = section
+        path.write_text(json.dumps(report, indent=2, default=float) + "\n")
+        print(f"\nfederation section merged into {args.out}")
+    print("federation-smoke: PASS" if args.smoke else "\nfederation bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

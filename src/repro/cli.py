@@ -19,6 +19,7 @@ series as CSV for external plotting.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
@@ -378,6 +379,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fluid(sweep)
     sweep.add_argument(
+        "--regions", default="1", metavar="LIST", dest="regions",
+        help="comma-separated region counts; cells with more than one "
+        "region run as a federation under the global load balancer "
+        "(default 1)",
+    )
+    sweep.add_argument(
         "--csv", metavar="FILE", default=None,
         help="write one row per grid cell as CSV",
     )
@@ -394,6 +401,57 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="process-pool width for the cell fan-out",
+    )
+
+    from repro.federation.spec import PRESETS as FED_PRESETS
+
+    federate = sub.add_parser(
+        "federate",
+        help="run N regional clusters in lockstep epochs under the "
+        "global load balancer (one worker process per region)",
+    )
+    federate.add_argument(
+        "--scenario", default="global-ramp", choices=sorted(FED_PRESETS),
+        help="named federation preset (default: global-ramp)",
+    )
+    federate.add_argument(
+        "--regions", type=int, default=None, metavar="N",
+        help="region count (default: the scenario's own)",
+    )
+    federate.add_argument(
+        "--scale", type=float, default=0.3,
+        help="time-compression factor for every region (default 0.3)",
+    )
+    federate.add_argument("--seed", type=int, default=1)
+    federate.add_argument(
+        "--peak", type=int, default=None,
+        help="per-region peak client count (default: the scenario's own)",
+    )
+    federate.add_argument(
+        "--epoch", type=float, default=None, metavar="SEC",
+        help="override the epoch barrier period (simulated seconds)",
+    )
+    federate.add_argument(
+        "--events", action="store_true",
+        help="print the per-epoch routing log (weights, spill, "
+        "evacuations)",
+    )
+    federate.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the canonical federation scorecard JSON "
+        "(byte-stable across serial/parallel execution)",
+    )
+    federate.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="write one region-tagged decision trace JSONL per region",
+    )
+    federate.add_argument(
+        "--serial", action="store_true",
+        help="run regions in-process (results are byte-identical to "
+        "parallel)",
+    )
+    federate.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
     )
 
     cache = sub.add_parser(
@@ -1049,12 +1107,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         fleets=parse_list(args.fleet, str),
         fluid=args.fluid,
         fluid_threshold=args.fluid_threshold,
+        regions=parse_list(args.regions, int),
     )
     cells = spec.grid()
     print(
         f"Sweeping {len(cells)} cells: {len(spec.policies)} policies x "
         f"{len(spec.seeds)} seeds x {len(spec.scales)} scales x "
-        f"{len(spec.cohorts)} cohorts x {len(spec.fleets)} fleets..."
+        f"{len(spec.cohorts)} cohorts x {len(spec.fleets)} fleets x "
+        f"{len(spec.regions)} region counts..."
     )
     runner = ExperimentRunner(
         max_workers=args.workers,
@@ -1089,6 +1149,104 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.json:
         write_sweep_json(result, args.json)
         print(f"Sweep result written to {args.json}")
+    return 0
+
+
+def cmd_federate(args: argparse.Namespace) -> int:
+    import dataclasses
+    import time as _time
+
+    from repro.federation.coordinator import run_federation
+    from repro.federation.spec import PRESETS as FED_PRESETS
+    from repro.runner import ResultCache
+
+    factory = FED_PRESETS[args.scenario]
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    if args.regions is not None:
+        kwargs["regions"] = args.regions
+    if args.peak is not None:
+        kwargs["peak"] = args.peak
+    spec = factory(**kwargs)
+    if args.epoch is not None:
+        spec = dataclasses.replace(spec, epoch_s=args.epoch)
+    print(
+        f"Federation '{spec.name}': {len(spec.regions)} regions x "
+        f"{spec.epochs} epochs (epoch {spec.epoch_s:g}s, seed {spec.seed})"
+    )
+    t0 = _time.perf_counter()
+    result = run_federation(
+        spec,
+        parallel=not args.serial,
+        cache=None if args.no_cache else ResultCache(),
+        trace_dir=args.trace_dir,
+    )
+    elapsed = _time.perf_counter() - t0
+    header = (
+        f"{'region':<12s} {'completed':>9s} {'failed':>7s} {'thr':>7s} "
+        f"{'p95 ms':>8s} {'repl':>7s} {'weight':>7s} {'spill':>6s}"
+    )
+    print("\n" + header)
+    for name, region in sorted(result.regions.items()):
+        summary = region.run.summary()
+        final_weight = (
+            region.updates_applied[-1].weight
+            if region.updates_applied
+            else 1.0
+        )
+        spill_peak = max(
+            (u.spill_clients for u in region.updates_applied), default=0
+        )
+        repl = (
+            f"x{int(summary['app_replicas_max'])}"
+            f"/{int(summary['db_replicas_max'])}"
+        )
+        print(
+            f"{name:<12s} {summary['completed']:9.0f} "
+            f"{summary['failed']:7.0f} {summary['throughput_rps']:7.2f} "
+            f"{summary['latency_p95_ms']:8.1f} {repl:>7s} "
+            f"{final_weight:7.2f} {spill_peak:6d}"
+        )
+    rollup = result.summary()
+    print(
+        f"{'GLOBAL':<12s} {rollup['completed']:9.0f} "
+        f"{rollup['failed']:7.0f} {rollup['throughput_rps']:7.2f} "
+        f"{rollup['latency_p95_ms']:8.1f}"
+    )
+    print(
+        f"\nmode {result.mode}, {result.updates_routed} updates routed, "
+        f"{result.events_processed} kernel events, {elapsed:.2f}s wall "
+        f"(critical path {result.critical_path_s():.2f}s)"
+    )
+    if args.events:
+        print("\nepoch routing log:")
+        updates = sorted(
+            (u for r in result.regions.values() for u in r.updates_applied),
+            key=lambda u: (u.epoch, u.region),
+        )
+        for u in updates:
+            spill = f" +{u.spill_clients} spill" if u.spill_clients else ""
+            print(
+                f"  epoch {u.epoch:>3d} {u.region:<12s} "
+                f"weight {u.weight:.2f}{spill}"
+                f"{'  [' + u.reason + ']' if u.reason != 'routing' else ''}"
+            )
+    if args.trace_dir:
+        print(f"per-region traces in {args.trace_dir}/")
+    if args.json:
+        payload = {
+            "scenario": spec.name,
+            "seed": spec.seed,
+            "topology": spec.topology(),
+            "regions": {
+                name: region.scorecard()
+                for name, region in sorted(result.regions.items())
+            },
+            "global": rollup,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=float)
+            fh.write("\n")
+        print(f"Canonical scorecard written to {args.json}")
     return 0
 
 
@@ -1246,6 +1404,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "market": cmd_market,
         "whatif": cmd_whatif,
         "sweep": cmd_sweep,
+        "federate": cmd_federate,
         "cache": cmd_cache,
         "bench": cmd_bench,
         "trace": cmd_trace,

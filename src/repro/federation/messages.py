@@ -1,0 +1,60 @@
+"""Typed cross-region channel messages.
+
+The only way state crosses a region boundary is one of these frozen,
+picklable dataclasses, flushed at an epoch barrier and routed by the
+coordinator.  Determinism rests on two properties enforced here:
+
+* messages carry the epoch they belong to, so delivery order within an
+  epoch is a pure sort — :func:`ordered` sorts by (epoch, origin region
+  name, type name) and the coordinator always applies that order;
+* every field is a value (no object references), so pickling a message
+  to a worker process preserves it bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RegionReport:
+    """What a region tells the coordinator at an epoch barrier: demand,
+    capacity, and the latency it observed over the epoch window."""
+
+    epoch: int
+    region: str
+    t: float  #: simulated time of the barrier
+    active_clients: int
+    app_replicas: int
+    db_replicas: int
+    free_nodes: int
+    completed: int  #: requests completed during the epoch
+    failed: int  #: requests failed during the epoch
+    latency_mean_s: float  #: mean latency over the epoch (0 if idle)
+    latency_p95_s: float  #: p95 latency over the epoch (0 if idle)
+    available: bool = True  #: False once the region is evacuated
+
+
+@dataclass(frozen=True)
+class WeightUpdate:
+    """A routing decision for one region, effective at epoch ``epoch``:
+    scale the region's base demand by ``weight`` and add
+    ``spill_clients`` redirected from evacuated regions."""
+
+    epoch: int
+    region: str
+    weight: float
+    spill_clients: int = 0
+    reason: str = "routing"  #: "routing" | "evacuation"
+
+
+def ordered(messages):
+    """Deterministic delivery order: (epoch, origin, type name).
+
+    Regions may finish an epoch in any wall-clock order in parallel
+    mode; sorting before delivery makes the routed schedule identical
+    to the serial one.
+    """
+    return sorted(
+        messages, key=lambda m: (m.epoch, m.region, type(m).__name__)
+    )

@@ -1,0 +1,321 @@
+"""Federation topologies: region specs, seed sharding, scenario presets.
+
+A :class:`FederationSpec` is a frozen, picklable value — like
+:class:`~repro.chaos.campaign.ChaosCampaign` or the market scenarios —
+so it rides through the content-addressed result cache and the process
+pool unchanged.  Its :meth:`~FederationSpec.topology` method feeds the
+cache key (region count + channel config), guaranteeing a federated run
+can never alias a single-cluster entry.
+
+Each region's RNG universe is sharded from the federation seed with the
+same sha256 idiom :class:`~repro.simulation.rng.RngStreams` uses for
+component streams: ``region_seed(seed, name)`` keys on the region *name*,
+so adding a region never perturbs the others (test-enforced in
+``tests/test_rng.py``).
+
+``PRESETS`` holds the named cross-region scenarios the CLI, benchmark
+and CI smoke use: a global Fig. 9 ramp sharded across regions, a
+follow-the-sun diurnal cycle, a region evacuation, and a correlated
+multi-region incident composed from the existing chaos fault specs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chaos.campaign import ChaosCampaign
+from repro.workload.profiles import (
+    DiurnalProfile,
+    RampProfile,
+    WorkloadProfile,
+)
+
+#: canonical region names, in routing (alphabetical-friendly) order
+REGION_NAMES = (
+    "ap-east", "eu-west", "sa-south", "us-east",
+    "us-west", "af-north", "me-central", "oc-south",
+)
+
+
+def region_seed(seed: int, name: str) -> int:
+    """Shard the federation seed into one independent seed per region.
+
+    Mirrors the :class:`~repro.simulation.rng.RngStreams` naming idiom:
+    the region name is hashed, not its position, so region sets compose
+    without perturbing each other's streams.
+    """
+    digest = hashlib.sha256(f"region:{seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One region: a name, its base demand curve, and local scenario
+    ingredients (node pool size, an optional chaos campaign, an optional
+    evacuation deadline after which the global LB drains it)."""
+
+    name: str
+    profile: WorkloadProfile
+    pool_nodes: int = 7
+    chaos: Optional[ChaosCampaign] = None
+    evacuate_at_s: Optional[float] = None
+    cohort: int = 1
+    fluid: bool = False
+    fluid_threshold: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("region needs a name")
+        if self.pool_nodes < 2:
+            raise ValueError("region pool needs >= 2 nodes")
+
+
+@dataclass(frozen=True)
+class FederationSpec:
+    """N regions + the cross-region channel configuration."""
+
+    name: str
+    regions: tuple[RegionSpec, ...] = field(default_factory=tuple)
+    seed: int = 1
+    epoch_s: float = 60.0  #: barrier period (one adjust period)
+    managed: bool = True
+    proactive: bool = False
+    adaptive_routing: bool = True
+    min_weight: float = 0.5
+    max_weight: float = 1.5
+    routing_gain: float = 0.5
+    latency_floor_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "regions", tuple(self.regions))
+        if not self.regions:
+            raise ValueError("federation needs at least one region")
+        names = [r.name for r in self.regions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate region names: {names}")
+        if self.epoch_s <= 0:
+            raise ValueError("epoch_s must be positive")
+        durations = {r.profile.duration_s for r in self.regions}
+        if len(durations) != 1:
+            raise ValueError(
+                "regions must share one workload horizon "
+                f"(got {sorted(durations)})"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def horizon_s(self) -> float:
+        return self.regions[0].profile.duration_s
+
+    @property
+    def epochs(self) -> int:
+        import math
+
+        return max(1, math.ceil(self.horizon_s / self.epoch_s))
+
+    def topology(self) -> dict:
+        """The shard/channel shape folded into the result-cache key:
+        region count + names + every channel knob."""
+        return {
+            "kind": "federation",
+            "regions": len(self.regions),
+            "names": [r.name for r in self.regions],
+            "epoch_s": self.epoch_s,
+            "adaptive_routing": self.adaptive_routing,
+            "min_weight": self.min_weight,
+            "max_weight": self.max_weight,
+            "routing_gain": self.routing_gain,
+            "latency_floor_s": self.latency_floor_s,
+        }
+
+
+def build_region_config(
+    fed: FederationSpec,
+    region: RegionSpec,
+    trace_jsonl: Optional[str] = None,
+):
+    """Pack one region into a runnable :class:`ExperimentConfig`.
+
+    The demand curve is wrapped in a
+    :class:`~repro.federation.routing.RoutedProfile` so the coordinator
+    can retarget it at epoch barriers; the seed is sharded by region
+    name; self-recovery is armed automatically when the region carries a
+    chaos campaign.
+    """
+    from repro.federation.routing import RoutedProfile
+    from repro.jade.system import ExperimentConfig
+
+    return ExperimentConfig(
+        profile=RoutedProfile(region.profile),
+        seed=region_seed(fed.seed, region.name),
+        managed=fed.managed,
+        proactive=fed.proactive,
+        recovery=region.chaos is not None,
+        chaos=region.chaos,
+        pool_nodes=region.pool_nodes,
+        cohort=region.cohort,
+        hardware_scale=float(region.cohort),
+        fluid=region.fluid,
+        fluid_threshold=region.fluid_threshold,
+        trace=trace_jsonl is not None,
+        trace_jsonl=trace_jsonl,
+        trace_run_id=f"{fed.name}-{region.name}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario presets (the CLI's --scenario choices)
+# ----------------------------------------------------------------------
+def _ramp(scale: float, peak: int = 500) -> RampProfile:
+    return RampProfile(
+        base=80,
+        peak=peak,
+        step_clients=21,
+        warmup_s=300.0 * scale,
+        step_period_s=60.0 * scale,
+        cooldown_s=300.0 * scale,
+    )
+
+
+def global_ramp(
+    regions: int = 4, scale: float = 0.3, seed: int = 1, peak: int = 500,
+    managed: bool = True, proactive: bool = False,
+    fluid: bool = False, fluid_threshold: int = 0, cohort: int = 1,
+) -> FederationSpec:
+    """The §5.2 ramp in every region at once (the speedup benchmark:
+    regions are balanced, so the critical path is one region)."""
+    if not 1 <= regions <= len(REGION_NAMES):
+        raise ValueError(f"regions must be 1..{len(REGION_NAMES)}")
+    return FederationSpec(
+        name="global-ramp",
+        regions=tuple(
+            RegionSpec(
+                name,
+                _ramp(scale, peak),
+                cohort=cohort,
+                fluid=fluid,
+                fluid_threshold=fluid_threshold,
+            )
+            for name in REGION_NAMES[:regions]
+        ),
+        seed=seed,
+        epoch_s=60.0 * scale,
+        managed=managed,
+        proactive=proactive,
+    )
+
+
+def follow_the_sun(
+    regions: int = 4, scale: float = 0.3, seed: int = 1, peak: int = 500
+) -> FederationSpec:
+    """Diurnal load phase-shifted per region: daylight (and the demand
+    peak) walks around the federation once over the scenario."""
+    if not 1 <= regions <= len(REGION_NAMES):
+        raise ValueError(f"regions must be 1..{len(REGION_NAMES)}")
+    period = 3600.0 * scale
+    return FederationSpec(
+        name="follow-the-sun",
+        regions=tuple(
+            RegionSpec(
+                name,
+                DiurnalProfile(
+                    base=80,
+                    peak=peak,
+                    period_s=period,
+                    phase_s=i * period / regions,
+                    duration_s=period,
+                ),
+            )
+            for i, name in enumerate(REGION_NAMES[:regions])
+        ),
+        seed=seed,
+        epoch_s=60.0 * scale,
+    )
+
+
+def evacuation(
+    regions: int = 2, scale: float = 0.3, seed: int = 1, peak: int = 350
+) -> FederationSpec:
+    """Geo failover: the first region is hit by a correlated incident
+    mid-ramp and evacuated — the global LB drains it (weight 0) and
+    spills its projected demand to the survivors."""
+    from repro.chaos import faults as F
+
+    if regions < 2:
+        raise ValueError("evacuation needs at least 2 regions")
+    horizon = _ramp(scale, peak).duration_s
+    evacuate_at = 0.4 * horizon
+    incident = ChaosCampaign(
+        "region-incident",
+        (
+            F.correlated(evacuate_at, target="any"),
+            F.partition(evacuate_at, horizon - evacuate_at, target="app"),
+        ),
+        detector="phi",
+    )
+    specs = [
+        RegionSpec(
+            REGION_NAMES[0],
+            _ramp(scale, peak),
+            chaos=incident,
+            evacuate_at_s=evacuate_at,
+        )
+    ]
+    specs.extend(
+        RegionSpec(name, _ramp(scale, peak))
+        for name in REGION_NAMES[1:regions]
+    )
+    return FederationSpec(
+        name="evacuation",
+        regions=tuple(specs),
+        seed=seed,
+        epoch_s=60.0 * scale,
+    )
+
+
+def multi_region_incident(
+    regions: int = 4, scale: float = 0.3, seed: int = 1, peak: int = 350
+) -> FederationSpec:
+    """Correlated multi-region incident: two regions degrade at the same
+    instant (gray DB + fail-slow) without evacuating, so the adaptive
+    router has to shift weight onto the healthy pair."""
+    from repro.chaos import faults as F
+
+    if regions < 3:
+        raise ValueError("multi-region-incident needs at least 3 regions")
+    horizon = _ramp(scale, peak).duration_s
+    hit_at = 0.35 * horizon
+    hit_for = 0.4 * horizon
+    gray = ChaosCampaign(
+        "gray-db",
+        (F.gray(hit_at, hit_for, factor=0.005, target="db"),),
+        detector="phi",
+    )
+    slow = ChaosCampaign(
+        "slow-db",
+        (F.fail_slow(hit_at, hit_for, factor=0.01, target="db"),),
+        detector="phi",
+    )
+    campaigns = {REGION_NAMES[0]: gray, REGION_NAMES[1]: slow}
+    return FederationSpec(
+        name="multi-region-incident",
+        regions=tuple(
+            RegionSpec(
+                name, _ramp(scale, peak), chaos=campaigns.get(name)
+            )
+            for name in REGION_NAMES[:regions]
+        ),
+        seed=seed,
+        epoch_s=60.0 * scale,
+    )
+
+
+#: named federation scenarios: factory(regions=..., scale=..., seed=...)
+PRESETS = {
+    "global-ramp": global_ramp,
+    "follow-the-sun": follow_the_sun,
+    "evacuation": evacuation,
+    "multi-region-incident": multi_region_incident,
+}

@@ -532,6 +532,7 @@ class ManagedSystem:
         # --- metrics sampling ---------------------------------------------
         self._node_sampler = UtilizationSampler()
         self._sampling_task = None
+        self._horizon: Optional[float] = None  # set by start_all()
 
         # --- decision tracing (opt-in; None everywhere when disabled) ----
         self.tracer = None
@@ -608,10 +609,23 @@ class ManagedSystem:
         self.collector.record_node_sample(self.kernel.now, cpu, mem)
 
     # ------------------------------------------------------------------
-    def run(self, duration_s: Optional[float] = None) -> MetricsCollector:
-        """Run the experiment and return the collector."""
+    # Lifecycle: run() == start_all() + advance(horizon) + finish().
+    #
+    # The split is the kernel/system boundary the federation layer builds
+    # on: a region coordinator interleaves many systems by calling
+    # ``advance`` epoch by epoch (applying cross-region messages at each
+    # barrier) and ``finish`` once, while every single-cluster caller
+    # keeps using ``run`` unchanged.
+    # ------------------------------------------------------------------
+    def start_all(self, duration_s: Optional[float] = None) -> float:
+        """Start every manager, probe, and the client emulator.
+
+        Returns the workload horizon (seconds of simulated time the
+        emulator drives load for); the caller advances the kernel to it —
+        in one ``advance`` call or many — then calls :meth:`finish`.
+        """
         cfg = self.config
-        horizon = (
+        self._horizon = (
             duration_s if duration_s is not None else cfg.profile.duration_s
         )
         if self.optimizer is not None:
@@ -631,9 +645,25 @@ class ManagedSystem:
         for probe in self._passive_probes:
             probe.on_start()
         self.emulator.start()
-        self.kernel.run(until=horizon)
+        return self._horizon
+
+    def advance(self, until: float) -> float:
+        """Drain the kernel up to simulated time ``until`` (idempotent:
+        advancing to a time already passed is a no-op).  Returns the
+        kernel clock."""
+        self.kernel.run(until=until)
+        return self.kernel.now
+
+    def finish(self) -> MetricsCollector:
+        """Stop the emulator, drain the tail, stop every manager, and
+        flush the tracer.  Requires :meth:`start_all`; returns the
+        collector."""
+        if self._horizon is None:
+            raise RuntimeError("finish() before start_all()")
+        self.kernel.run(until=self._horizon)
         self.emulator.stop()
-        self.kernel.run(until=horizon + cfg.tail_s)
+        self.kernel.run(until=self._horizon + self.config.tail_s)
+        self._horizon = None
         if self._sampling_task is not None:
             self._sampling_task.cancel()
             self._sampling_task = None
@@ -660,6 +690,12 @@ class ManagedSystem:
             )
             self.tracer.flush()
         return self.collector
+
+    def run(self, duration_s: Optional[float] = None) -> MetricsCollector:
+        """Run the experiment end to end and return the collector."""
+        horizon = self.start_all(duration_s)
+        self.advance(horizon)
+        return self.finish()
 
     # ------------------------------------------------------------------
     # Summaries used by the benchmark tables

@@ -330,6 +330,21 @@ class FleetRebalanced(TraceEvent):
 
 
 @dataclass(frozen=True)
+class EpochRouted(TraceEvent):
+    """The federation coordinator retargeted one region's demand at an
+    epoch barrier (``repro.federation``): weight scaling plus any spill
+    redirected from evacuated regions."""
+
+    kind: ClassVar[str] = "epoch-routed"
+
+    region: str
+    epoch: int
+    weight: float
+    spill_clients: int
+    reason: str        # "routing" | "evacuation"
+
+
+@dataclass(frozen=True)
 class KernelStats(TraceEvent):
     """Event-loop counters, emitted once at the end of a traced run."""
 
@@ -365,6 +380,7 @@ EVENT_KINDS = {
         MarketPriceTick,
         InterruptionNotice,
         FleetRebalanced,
+        EpochRouted,
         KernelStats,
     )
 }

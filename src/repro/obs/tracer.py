@@ -38,10 +38,14 @@ class Tracer:
         run_id: str = "run",
         ring_size: int = 65536,
         sink_path: Optional[str] = None,
+        region: Optional[str] = None,
     ) -> None:
         if ring_size < 1:
             raise ValueError("ring_size must be >= 1")
         self.run_id = run_id
+        #: federation region this tracer belongs to; when set, every
+        #: record is stamped so merged multi-region traces stay separable
+        self.region = region
         self.ring: deque[dict] = deque(maxlen=ring_size)
         self.sink_path = sink_path
         self._sink: Optional[IO[str]] = (
@@ -69,6 +73,8 @@ class Tracer:
         record = event.to_record()
         record["run"] = self.run_id
         record["seq"] = seq
+        if self.region is not None:
+            record["region"] = self.region
         if "cause" not in record and self._cause_stack:
             record["cause"] = self._cause_stack[-1]
         self.ring.append(record)

@@ -423,9 +423,21 @@ def _section_fluid(ctx: dict) -> dict:
     )
 
 
+def _section_federation(ctx: dict) -> dict:
+    from repro.federation.bench import run_federation_section
+
+    return run_federation_section(
+        seed=ctx["seeds"][0],
+        use_cache=ctx["use_cache"],
+        parallel=ctx["parallel"],
+    )
+
+
 #: every BENCH_engine.json section beyond the always-on ``micro`` block,
 #: in report order.  ``run_bench(skip=...)`` names entries here — the one
 #: skip mechanism for all subsystem benches (``--micro-only`` == skip all).
+#: ``federation`` runs last so its shared-pool snapshot reflects every
+#: fan-out the earlier sections made.
 SECTIONS = {
     "ramp": _section_ramp,
     "whatif": _section_whatif,
@@ -434,6 +446,7 @@ SECTIONS = {
     "deploy": _section_deploy,
     "market": _section_market,
     "fluid": _section_fluid,
+    "federation": _section_federation,
 }
 
 

@@ -114,6 +114,18 @@ class ResultCache:
         digest.update(describe_config(config).encode())
         digest.update(b"\n")
         digest.update(fingerprint.encode())
+        # Federation topology (region count, names, epoch/channel config)
+        # is part of a payload's identity: without this a federated spec
+        # whose field values happened to canonicalize like a
+        # single-cluster config could alias its cache entry.
+        topology = getattr(config, "topology", None)
+        if callable(topology):
+            digest.update(b"\ntopology:")
+            digest.update(
+                json.dumps(
+                    _canon(topology()), sort_keys=True, separators=(",", ":")
+                ).encode()
+            )
         return digest.hexdigest()
 
     def _paths(self, key: str) -> tuple[Path, Path]:

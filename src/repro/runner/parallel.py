@@ -27,9 +27,11 @@ dispatching and stores every fresh result, so a repeated ``repro bench``
 
 from __future__ import annotations
 
+import atexit
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Mapping, Optional, Sequence, TypeVar
 
 from repro.runner.cache import ResultCache
@@ -43,6 +45,15 @@ R = TypeVar("R")
 #: instead of forking a pool-of-pools
 _POOL_MARKER = "REPRO_POOL_WORKER"
 
+#: lifetime counters for the shared pool, surfaced by the bench report:
+#: ``created``/``spawn_s`` count executor constructions and their wall
+#: cost, ``fanouts`` the parallel fan-outs served, ``reused`` how many of
+#: those found a warm pool already standing (the spawn overhead saved).
+POOL_STATS = {"created": 0, "spawn_s": 0.0, "fanouts": 0, "reused": 0}
+
+_shared_pool: Optional[ProcessPoolExecutor] = None
+_shared_pool_workers = 0
+
 
 def default_workers() -> int:
     """Pool width when the caller does not choose: bounded by cores."""
@@ -54,13 +65,68 @@ def in_pool_worker() -> bool:
     return bool(os.environ.get(_POOL_MARKER))
 
 
+def _pool_initializer() -> None:
+    """Runs once in every worker: mark it so nested fan-outs stay
+    in-process (module-level so it pickles under spawn)."""
+    os.environ[_POOL_MARKER] = "1"
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor, (re)created only when more workers are needed.
+
+    Worker processes are stateless between tasks (every task imports and
+    builds its own kernel), so one pool safely serves every fan-out in
+    the process — bench sections, sweep grids, federation epochs — and
+    each reuse saves a full executor spawn.
+    """
+    global _shared_pool, _shared_pool_workers
+    if _shared_pool is not None and _shared_pool_workers >= workers:
+        POOL_STATS["reused"] += 1
+        return _shared_pool
+    if _shared_pool is not None:
+        _shared_pool.shutdown(wait=True)
+    t0 = time.perf_counter()
+    _shared_pool = ProcessPoolExecutor(
+        max_workers=workers, initializer=_pool_initializer
+    )
+    _shared_pool_workers = workers
+    POOL_STATS["created"] += 1
+    POOL_STATS["spawn_s"] += time.perf_counter() - t0
+    return _shared_pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared executor (atexit, tests, broken-pool reset)."""
+    global _shared_pool, _shared_pool_workers
+    if _shared_pool is not None:
+        _shared_pool.shutdown(wait=True)
+        _shared_pool = None
+        _shared_pool_workers = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def pool_stats() -> dict:
+    """Snapshot of :data:`POOL_STATS` plus the estimated spawn seconds
+    saved by reuse (reuses × mean observed spawn cost)."""
+    stats = dict(POOL_STATS)
+    mean_spawn = (
+        POOL_STATS["spawn_s"] / POOL_STATS["created"]
+        if POOL_STATS["created"]
+        else 0.0
+    )
+    stats["est_spawn_saved_s"] = POOL_STATS["reused"] * mean_spawn
+    return stats
+
+
 def fanout_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     max_workers: Optional[int] = None,
     parallel: bool = True,
 ) -> list[R]:
-    """Order-preserving map over a process pool.
+    """Order-preserving map over the shared process pool.
 
     ``fn`` must be a module-level callable and ``items`` picklable.  The
     result list matches ``items`` order exactly, so a parallel fan-out is
@@ -69,7 +135,9 @@ def fanout_map(
 
     Runs in-process (same results, no pool) when ``parallel`` is off,
     fewer than two items or workers are available, ``REPRO_RUNNER_SERIAL``
-    is set, or the caller is itself a pool worker.
+    is set, or the caller is itself a pool worker.  The executor persists
+    across calls (see :func:`_get_pool`); a broken pool — a worker killed
+    mid-task — is torn down and the fan-out retried once on a fresh one.
     """
     items = list(items)
     if max_workers is None:
@@ -82,18 +150,28 @@ def fanout_map(
         or in_pool_worker()
     ):
         return [fn(item) for item in items]
-    os.environ[_POOL_MARKER] = "1"  # inherited by the forked workers
+    POOL_STATS["fanouts"] += 1
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
-    finally:
-        os.environ.pop(_POOL_MARKER, None)
+        return list(_get_pool(workers).map(fn, items))
+    except BrokenProcessPool:
+        shutdown_pool()
+        return list(_get_pool(workers).map(fn, items))
 
 
 def execute_config(config) -> CompletedRun:
     """Build, run, and distill one experiment (the worker entry point —
-    must stay module-level so it is importable from a pool worker)."""
+    must stay module-level so it is importable from a pool worker).
+
+    A :class:`~repro.federation.spec.FederationSpec` payload routes
+    through the epoch coordinator instead (regions run serially inside
+    the cell — the sweep/bench already fans cells out at this level)."""
+    from repro.federation.spec import FederationSpec
     from repro.jade.system import ManagedSystem
+
+    if isinstance(config, FederationSpec):
+        from repro.federation.coordinator import run_federation
+
+        return run_federation(config, parallel=False)
 
     t0 = time.perf_counter()
     system = ManagedSystem(config)

@@ -51,10 +51,14 @@ SUMMARY_FIELDS = (
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One grid cell: a (policy, seed, scale, cohort, fleet) coordinate.
+    """One grid cell: a (policy, seed, scale, cohort, fleet, regions)
+    coordinate.
 
     ``fluid`` switches the cell's workload onto the hybrid fluid/discrete
-    engine (``fluid_threshold`` users and above run as flow updates)."""
+    engine (``fluid_threshold`` users and above run as flow updates).
+    ``regions > 1`` federates the cell: the same ramp runs in every
+    region under the global load balancer (``repro sweep --regions``),
+    and the row reports the federation's global rollup."""
 
     policy: str
     seed: int
@@ -64,6 +68,7 @@ class SweepPoint:
     fleet: str = "uniform"
     fluid: bool = False
     fluid_threshold: int = 0
+    regions: int = 1
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -72,6 +77,10 @@ class SweepPoint:
             )
         if self.seed < 0 or self.scale <= 0 or self.cohort < 1:
             raise ValueError("need seed >= 0, scale > 0, cohort >= 1")
+        if self.regions < 1:
+            raise ValueError("need regions >= 1")
+        if self.regions > 1 and self.fleet != "uniform":
+            raise ValueError("federated cells support the uniform fleet only")
         if self.fleet != "uniform":
             from repro.market.scenario import PRESETS
 
@@ -88,6 +97,8 @@ class SweepPoint:
         suffix = "" if self.fleet == "uniform" else f"-f{self.fleet}"
         if self.fluid:
             suffix += f"-fluid{self.fluid_threshold}"
+        if self.regions > 1:
+            suffix += f"-r{self.regions}"
         return (
             f"{self.policy}-s{self.seed}-x{self.scale:g}-c{self.cohort}"
             f"{suffix}"
@@ -100,6 +111,20 @@ class SweepPoint:
         from repro.jade.system import ExperimentConfig
         from repro.workload.profiles import RampProfile
 
+        if self.regions > 1:
+            from repro.federation.spec import global_ramp
+
+            return global_ramp(
+                regions=self.regions,
+                scale=self.scale,
+                seed=self.seed,
+                peak=self.peak,
+                managed=self.policy != "static",
+                proactive=self.policy == "proactive",
+                fluid=self.fluid,
+                fluid_threshold=self.fluid_threshold,
+                cohort=self.cohort,
+            )
         market = None
         recovery = False
         if self.fleet != "uniform":
@@ -141,18 +166,20 @@ class SweepSpec:
     fleets: tuple[str, ...] = ("uniform",)
     fluid: bool = False
     fluid_threshold: int = 0
+    regions: tuple[int, ...] = (1,)
 
     def grid(self) -> list[SweepPoint]:
         return [
             SweepPoint(
                 policy, seed, scale, cohort, self.peak, fleet,
-                self.fluid, self.fluid_threshold,
+                self.fluid, self.fluid_threshold, n_regions,
             )
             for policy in self.policies
             for seed in self.seeds
             for scale in self.scales
             for cohort in self.cohorts
             for fleet in self.fleets
+            for n_regions in self.regions
         ]
 
     def to_record(self) -> dict:
@@ -165,6 +192,7 @@ class SweepSpec:
             "fleets": list(self.fleets),
             "fluid": self.fluid,
             "fluid_threshold": self.fluid_threshold,
+            "regions": list(self.regions),
             "cells": len(self.grid()),
         }
 
@@ -219,6 +247,7 @@ def run_sweep(
             "cohort": point.cohort,
             "peak": point.peak,
             "fleet": point.fleet,
+            "regions": point.regions,
         }
         summary = run.summary()
         for name in SUMMARY_FIELDS:
@@ -230,6 +259,9 @@ def run_sweep(
         # the flat uniform-pool price everywhere else
         if run.market is not None:
             row["fleet_cost"] = run.market.fleet_cost
+        elif point.regions > 1:
+            # federated cell: uniform-pool cost summed over regions
+            row["fleet_cost"] = run.fleet_cost
         else:
             from repro.market.costs import uniform_fleet_cost
 

@@ -116,6 +116,54 @@ class RampProfile(WorkloadProfile):
         return self.peak_clients
 
 
+class DiurnalProfile(WorkloadProfile):
+    """A smooth day/night population cycle, phase-shiftable per region.
+
+    ``clients_at`` follows a raised sinusoid between ``base`` (deepest
+    night) and ``peak`` (mid-afternoon): the curve crosses its minimum
+    at ``t == phase_s`` and its maximum half a period later.  The
+    federation's follow-the-sun scenario instantiates one per region
+    with ``phase_s = i * period_s / n_regions``, so daylight — and load
+    — walks around the regions exactly as the global LB must chase it.
+    """
+
+    def __init__(
+        self,
+        base: int = 80,
+        peak: int = 500,
+        period_s: float = 3600.0,
+        phase_s: float = 0.0,
+        duration_s: float = 3600.0,
+    ) -> None:
+        if peak < base or base < 0:
+            raise ValueError("need peak >= base >= 0")
+        if period_s <= 0 or duration_s <= 0:
+            raise ValueError("need period_s > 0 and duration_s > 0")
+        self.base = base
+        self.peak_clients = peak
+        self.period_s = period_s
+        self.phase_s = phase_s
+        self._duration = duration_s
+
+    def clients_at(self, t: float) -> int:
+        if t < 0.0 or t > self._duration:
+            return 0
+        import math
+
+        # 0 at t == phase_s, 1 half a period later
+        cycle = 0.5 * (
+            1.0 - math.cos(2.0 * math.pi * (t - self.phase_s) / self.period_s)
+        )
+        return self.base + int(round((self.peak_clients - self.base) * cycle))
+
+    @property
+    def duration_s(self) -> float:
+        return self._duration
+
+    def peak(self) -> int:
+        return self.peak_clients
+
+
 class PiecewiseProfile(WorkloadProfile):
     """Arbitrary step profile given as (start_time, clients) breakpoints."""
 

@@ -1,0 +1,419 @@
+"""Federation tests: lifecycle split, cross-region determinism, routing,
+cache topology, and the committed BENCH gate."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.federation.coordinator import run_federation
+from repro.federation.messages import RegionReport, WeightUpdate, ordered
+from repro.federation.routing import GlobalLoadBalancer, RoutedProfile
+from repro.federation.spec import (
+    FederationSpec,
+    RegionSpec,
+    evacuation,
+    follow_the_sun,
+    global_ramp,
+)
+from repro.workload.profiles import ConstantProfile, DiurnalProfile, RampProfile
+
+REPO = Path(__file__).parent.parent
+
+SMALL_SCALE = 0.04
+
+
+def _small(regions: int = 2, seed: int = 1) -> FederationSpec:
+    return global_ramp(regions=regions, scale=SMALL_SCALE, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Tentpole: the ManagedSystem lifecycle split
+# ----------------------------------------------------------------------
+def test_run_equals_chunked_advance():
+    """start_all + many advance calls + finish must be byte-identical to
+    the one-shot run() — the property the epoch coordinator rests on."""
+    from repro.jade.system import ExperimentConfig, ManagedSystem
+
+    def config():
+        return ExperimentConfig(
+            seed=3, profile=ConstantProfile(clients=40, duration_s=120.0)
+        )
+
+    whole = ManagedSystem(config())
+    whole.run()
+
+    chunked = ManagedSystem(config())
+    horizon = chunked.start_all()
+    t = 0.0
+    while t < horizon:
+        t = min(t + 7.0, horizon)  # deliberately not a divisor of 120
+        chunked.advance(t)
+    chunked.finish()
+
+    assert whole.summary() == chunked.summary()
+    assert (
+        whole.kernel.events_processed == chunked.kernel.events_processed
+    )
+    assert list(whole.collector.latencies.values) == list(
+        chunked.collector.latencies.values
+    )
+
+
+def test_finish_requires_start():
+    from repro.jade.system import ExperimentConfig, ManagedSystem
+
+    system = ManagedSystem(
+        ExperimentConfig(profile=ConstantProfile(clients=5, duration_s=30.0))
+    )
+    with pytest.raises(RuntimeError):
+        system.finish()
+
+
+# ----------------------------------------------------------------------
+# Cross-region determinism
+# ----------------------------------------------------------------------
+def test_serial_parallel_byte_identical_scorecards():
+    spec = _small(regions=2)
+    serial = run_federation(spec, parallel=False)
+    parallel = run_federation(spec, parallel=True)
+    assert serial.mode == "serial"
+    assert serial.scorecards_json() == parallel.scorecards_json()
+    assert parallel.events_processed == serial.events_processed
+
+
+def test_serial_rerun_identical():
+    spec = _small(regions=2)
+    first = run_federation(spec, parallel=False)
+    second = run_federation(spec, parallel=False)
+    assert first.scorecards_json() == second.scorecards_json()
+    assert [
+        u for r in first.regions.values() for u in r.updates_applied
+    ] == [u for r in second.regions.values() for u in r.updates_applied]
+
+
+def test_message_ordering_stability():
+    """Delivery order is a pure sort — any arrival permutation routes
+    identically."""
+    msgs = [
+        WeightUpdate(2, "us-east", 1.0),
+        WeightUpdate(1, "eu-west", 0.9),
+        WeightUpdate(1, "ap-east", 1.1),
+        WeightUpdate(2, "ap-east", 0.8),
+    ]
+    expect = ordered(msgs)
+    assert [m.region for m in expect[:2]] == ["ap-east", "eu-west"]
+    for perm in (msgs[::-1], msgs[2:] + msgs[:2], sorted(
+        msgs, key=lambda m: m.weight
+    )):
+        assert ordered(perm) == expect
+
+
+def test_region_count_changes_outcome_not_siblings():
+    """Adding a region must not perturb an existing region's RNG universe:
+    its seed depends only on (fed seed, region name)."""
+    from repro.federation.spec import build_region_config
+
+    two = _small(regions=2)
+    three = _small(regions=3)
+    for index in range(2):
+        assert (
+            build_region_config(two, two.regions[index]).seed
+            == build_region_config(three, three.regions[index]).seed
+        )
+
+
+# ----------------------------------------------------------------------
+# Routing policy
+# ----------------------------------------------------------------------
+def _report(name: str, epoch: int = 0, p95: float = 0.1, replicas: int = 2):
+    return RegionReport(
+        epoch=epoch,
+        region=name,
+        t=60.0,
+        active_clients=100,
+        app_replicas=replicas,
+        db_replicas=replicas,
+        free_nodes=2,
+        completed=500,
+        failed=0,
+        latency_mean_s=p95 / 2,
+        latency_p95_s=p95,
+    )
+
+
+def test_balancer_shifts_weight_to_healthy_regions():
+    balancer = GlobalLoadBalancer(["a", "b"], gain=1.0)
+    updates = balancer.route(
+        0,
+        {"a": _report("a", p95=2.0), "b": _report("b", p95=0.1)},
+        {},
+        90.0,
+    )
+    weights = {u.region: u.weight for u in updates}
+    assert weights["b"] > 1.0 > weights["a"]
+    assert weights["a"] >= balancer.min_weight
+    assert weights["b"] <= balancer.max_weight
+
+
+def test_balancer_evacuation_spills_projected_demand():
+    profile = ConstantProfile(clients=120, duration_s=600.0)
+    balancer = GlobalLoadBalancer(
+        ["a", "b", "c"], evacuate_at_s={"a": 100.0}
+    )
+    updates = balancer.route(
+        1,
+        {name: _report(name, epoch=1) for name in ("a", "b", "c")},
+        {"a": profile},
+        120.0,  # past the deadline
+    )
+    by_region = {u.region: u for u in updates}
+    assert by_region["a"].weight == 0.0
+    assert by_region["a"].reason == "evacuation"
+    # the evacuated region's 120 projected clients all land somewhere
+    assert (
+        by_region["b"].spill_clients + by_region["c"].spill_clients == 120
+    )
+
+
+def test_routed_profile_weight_and_spill():
+    base = ConstantProfile(clients=100, duration_s=60.0)
+    routed = RoutedProfile(base)
+    assert routed.clients_at(10.0) == 100
+    routed.apply(WeightUpdate(1, "r", 0.5, spill_clients=30))
+    assert routed.clients_at(10.0) == 80
+    routed.apply(WeightUpdate(2, "r", 0.0, spill_clients=0))
+    assert routed.clients_at(10.0) == 0
+    assert routed.duration_s == 60.0
+    assert routed.peak() == 100
+
+
+def test_diurnal_profile_phase_shift():
+    day = DiurnalProfile(
+        base=50, peak=250, period_s=400.0, phase_s=0.0, duration_s=400.0
+    )
+    assert day.clients_at(0.0) == 50
+    assert day.clients_at(200.0) == 250
+    shifted = DiurnalProfile(
+        base=50, peak=250, period_s=400.0, phase_s=100.0, duration_s=400.0
+    )
+    assert shifted.clients_at(100.0) == 50
+    assert shifted.clients_at(300.0) == 250
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def test_evacuation_drains_hit_region():
+    spec = evacuation(regions=2, scale=SMALL_SCALE)
+    result = run_federation(spec, parallel=False)
+    hit = spec.regions[0].name
+    survivor = spec.regions[1].name
+    hit_updates = result.regions[hit].updates_applied
+    assert any(
+        u.reason == "evacuation" and u.weight == 0.0 for u in hit_updates
+    )
+    assert result.regions[hit].reports[-1].active_clients == 0
+    assert max(
+        u.spill_clients for u in result.regions[survivor].updates_applied
+    ) > 0
+
+
+def test_follow_the_sun_peaks_rotate():
+    spec = follow_the_sun(regions=3, scale=SMALL_SCALE)
+    result = run_federation(spec, parallel=False)
+    peaks = {}
+    for name, region in result.regions.items():
+        actives = [r.active_clients for r in region.reports]
+        peaks[name] = max(range(len(actives)), key=actives.__getitem__)
+    assert len(set(peaks.values())) >= 2
+
+
+def test_spec_validation():
+    ramp = RampProfile(warmup_s=10.0, step_period_s=5.0, cooldown_s=10.0)
+    with pytest.raises(ValueError):
+        FederationSpec(name="empty", regions=())
+    with pytest.raises(ValueError):
+        FederationSpec(
+            name="dup",
+            regions=(RegionSpec("a", ramp), RegionSpec("a", ramp)),
+        )
+    with pytest.raises(ValueError):
+        FederationSpec(
+            name="mixed",
+            regions=(
+                RegionSpec("a", ramp),
+                RegionSpec("b", ConstantProfile(clients=10, duration_s=9.0)),
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Cache topology (satellite regression)
+# ----------------------------------------------------------------------
+def test_cache_key_includes_federation_topology(tmp_path):
+    from repro.runner.cache import ResultCache
+
+    cache = ResultCache(tmp_path)
+    fp = "fp"
+
+    def make(n):
+        class Cfg:  # same type name + identical __dict__ for both
+            def __init__(self):
+                self.x = 1
+
+            def topology(self):
+                return {"regions": n}
+
+        return Cfg()
+
+    from repro.runner.cache import describe_config
+
+    a, b = make(1), make(2)
+    assert describe_config(a) == describe_config(b)  # the aliasing trap
+    assert cache.key_for(a, fp) != cache.key_for(b, fp)
+
+
+def test_federated_spec_never_aliases_region_config(tmp_path):
+    from repro.federation.spec import build_region_config
+    from repro.runner.cache import ResultCache
+
+    cache = ResultCache(tmp_path)
+    spec = _small(regions=2)
+    keys = {cache.key_for(spec, "fp")}
+    keys.add(cache.key_for(build_region_config(spec, spec.regions[0]), "fp"))
+    keys.add(cache.key_for(_small(regions=3), "fp"))
+    import dataclasses
+
+    keys.add(cache.key_for(dataclasses.replace(spec, epoch_s=99.0), "fp"))
+    assert len(keys) == 4
+
+
+def test_federation_result_cached_roundtrip(tmp_path):
+    from repro.runner.cache import ResultCache
+
+    cache = ResultCache(tmp_path)
+    spec = _small(regions=2)
+    cold = run_federation(spec, parallel=False, cache=cache)
+    warm = run_federation(spec, parallel=False, cache=cache)
+    assert cache.hits == 1
+    assert warm.scorecards_json() == cold.scorecards_json()
+
+
+def test_runner_executes_federation_spec(tmp_path):
+    """A FederationSpec is a first-class runner payload (the sweep's
+    --regions axis relies on this dispatch)."""
+    from repro.runner.cache import ResultCache
+    from repro.runner.parallel import ExperimentRunner
+
+    runner = ExperimentRunner(cache=ResultCache(tmp_path), parallel=False)
+    result = runner.run(_small(regions=2))
+    summary = result.summary()
+    assert summary["completed"] > 0
+    assert set(result.regions) == {"ap-east", "eu-west"}
+
+
+def test_sweep_regions_axis():
+    from repro.runner.sweep import SweepPoint, SweepSpec
+
+    spec = SweepSpec(
+        seeds=(1,), scales=(SMALL_SCALE,), policies=("managed",),
+        regions=(1, 2),
+    )
+    labels = [p.label for p in spec.grid()]
+    assert labels == [
+        f"managed-s1-x{SMALL_SCALE:g}-c1",
+        f"managed-s1-x{SMALL_SCALE:g}-c1-r2",
+    ]
+    point = spec.grid()[1]
+    config = point.config()
+    assert type(config).__name__ == "FederationSpec"
+    assert len(config.regions) == 2
+    with pytest.raises(ValueError):
+        SweepPoint("managed", 1, 0.1, 1, regions=0)
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+def test_epoch_routed_event_registered():
+    from repro.obs.events import EVENT_KINDS, EpochRouted
+
+    assert EVENT_KINDS["epoch-routed"] is EpochRouted
+
+
+def test_tracer_region_stamping():
+    """A region-tagged tracer stamps every record — even one whose event
+    carries its own region field — so merged traces stay separable."""
+    from repro.obs.events import EpochRouted, ProbeReading
+    from repro.obs.tracer import Tracer
+
+    tagged = Tracer(run_id="fed", region="us-east")
+    tagged.emit(
+        EpochRouted(
+            1.0, region="other", epoch=0, weight=1.0,
+            spill_clients=0, reason="routing",
+        )
+    )
+    tagged.emit(ProbeReading(2.0, probe="app", smoothed=0.5, raw=0.6, nodes=2))
+    assert [r["region"] for r in tagged.records()] == ["us-east", "us-east"]
+
+    untagged = Tracer(run_id="solo")
+    untagged.emit(ProbeReading(2.0, probe="app", smoothed=0.5, raw=0.6, nodes=2))
+    assert "region" not in untagged.records()[0]
+
+
+# ----------------------------------------------------------------------
+# Persistent shared pool (satellite)
+# ----------------------------------------------------------------------
+def test_shared_pool_reused_across_fanouts():
+    from repro.runner import parallel as P
+
+    P.shutdown_pool()
+    created0 = P.POOL_STATS["created"]
+    reused0 = P.POOL_STATS["reused"]
+    try:
+        assert P.fanout_map(abs, [1, -2], max_workers=2) == [1, 2]
+        assert P.fanout_map(abs, [-3, 4], max_workers=2) == [3, 4]
+    finally:
+        stats = P.pool_stats()
+        P.shutdown_pool()
+    assert stats["created"] == created0 + 1
+    assert stats["reused"] >= reused0 + 1
+    assert stats["est_spawn_saved_s"] >= 0.0
+
+
+def test_pool_marker_set_in_workers():
+    from repro.runner import parallel as P
+
+    P.shutdown_pool()
+    try:
+        flags = P.fanout_map(_in_pool_probe, [0, 1], max_workers=2)
+        assert flags == [True, True]
+        assert not P.in_pool_worker()  # the parent stays unmarked
+    finally:
+        P.shutdown_pool()
+
+
+def _in_pool_probe(_):
+    from repro.runner.parallel import in_pool_worker
+
+    return in_pool_worker()
+
+
+# ----------------------------------------------------------------------
+# The committed BENCH gate
+# ----------------------------------------------------------------------
+def test_committed_federation_section():
+    """BENCH_engine.json must carry the 4-region federation headline:
+    byte-identical scorecards and >= 3x critical-path speedup."""
+    report = json.loads((REPO / "BENCH_engine.json").read_text())
+    section = report.get("federation")
+    assert section is not None, "no 'federation' section committed"
+    assert section["regions"] == 4
+    assert section["byte_identical"] is True
+    assert section["speedup"] >= 3.0
+    assert section["evacuation"]["drained"] is True
+    assert section["follow_the_sun"]["distinct_peaks"] >= 2
