@@ -1,6 +1,6 @@
 # Convenience targets for the Jade reproduction.
 
-.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check bench-whatif-check chaos-demo chaos-smoke deploy-demo deploy-smoke market-demo market-smoke fluid-demo fluid-smoke federate-demo federation-smoke figures examples trace-demo whatif-demo sweep-demo clean
+.PHONY: install test lint bench bench-quick bench-smoke bench-engine bench-engine-check bench-whatif-check chaos-demo chaos-smoke deploy-demo deploy-smoke market-demo market-smoke fluid-demo fluid-smoke federate-demo federation-smoke tune-demo tune-smoke figures examples trace-demo whatif-demo sweep-demo clean
 
 install:
 	pip install -e .
@@ -111,9 +111,24 @@ federate-demo:
 federation-smoke:
 	python benchmarks/bench_federation.py --smoke
 
+# Controller autotuning demo: a small threshold/inhibition grid through
+# the cached runner, winner written as a tuned config (re-run it: the
+# second pass resolves from the cache).
+tune-demo:
+	python -m repro tune --app-max 0.7,0.8 --app-min 0.38 \
+		--db-max 0.65,0.75 --db-min 0.4 --inhibitions 30,60 \
+		--seeds 1 --out /tmp/repro-tuned.json
+	@echo "tuned config: /tmp/repro-tuned.json"
+
+# Fast autotuner gate used by CI: the 2x2 tuner-ranking smoke (the
+# known-bad never-grow cell must rank last) + the one-seed
+# tuned-vs-default comparison.
+tune-smoke:
+	python benchmarks/bench_policy.py --smoke
+
 # Engine benchmark: every BENCH_engine.json section (micro, ramp,
-# whatif, sweep, chaos, deploy, market, fluid, federation) in one run;
-# refreshes the committed report.
+# whatif, sweep, chaos, deploy, market, fluid, policy, federation) in
+# one run; refreshes the committed report.
 bench-engine:
 	python -m repro bench --out BENCH_engine.json
 

@@ -1,0 +1,76 @@
+"""Controller-autotuning benchmark: the committed tuned policy
+parameters against the paper's hand-set defaults on the Fig. 9 ramp.
+
+``python benchmarks/bench_policy.py --out BENCH_engine.json`` merges the
+``"policy"`` section into the committed engine report; ``--smoke`` is
+the fast CI gate (the 2×2 tuner-ranking smoke plus the default-vs-tuned
+comparison on one seed).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.policy.bench import (
+    check_section,
+    render_section,
+    run_policy_section,
+    run_tune_smoke,
+)
+from repro.policy.tune import render_report
+
+
+def bench_policy_autotuning(benchmark):
+    from benchmarks._shared import emit  # pytest puts the rootdir on sys.path
+
+    section = benchmark.pedantic(run_policy_section, rounds=1, iterations=1)
+    emit("policy", render_section(section))
+    check_section(section)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI gate: tuner-ranking smoke + one-seed comparison",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="merge the policy section into this engine report "
+        "(e.g. BENCH_engine.json; other sections are preserved)",
+    )
+    parser.add_argument("--seeds", type=int, default=3, metavar="N",
+                        help="run seeds 1..N (default 3)")
+    parser.add_argument("--serial", action="store_true")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse the content-addressed result cache")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        report = run_tune_smoke(
+            parallel=not args.serial, use_cache=args.cache
+        )
+        print(render_report(report, top=4))
+        print()
+
+    seeds = (1,) if args.smoke else tuple(range(1, args.seeds + 1))
+    section = run_policy_section(
+        seeds=seeds, parallel=not args.serial, use_cache=args.cache
+    )
+    print(render_section(section))
+    check_section(section)
+    if args.out:
+        path = Path(args.out)
+        report = json.loads(path.read_text()) if path.exists() else {}
+        report["policy"] = section
+        path.write_text(json.dumps(report, indent=2, default=float) + "\n")
+        print(f"\npolicy section merged into {args.out}")
+    print("policy-smoke: PASS" if args.smoke else "\npolicy bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

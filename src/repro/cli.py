@@ -385,6 +385,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1)",
     )
     sweep.add_argument(
+        "--controllers", default="default", metavar="LIST",
+        help="comma-separated control-loop policy plugins: 'default' "
+        "(each cell's legacy reactor) and/or PolicyConfig strings such "
+        "as queue-model, adaptive-threshold, 'forecast:lead_s=90' "
+        "(default default)",
+    )
+    sweep.add_argument(
         "--csv", metavar="FILE", default=None,
         help="write one row per grid cell as CSV",
     )
@@ -452,6 +459,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     federate.add_argument(
         "--no-cache", action="store_true", help="bypass the result cache"
+    )
+
+    tune = sub.add_parser(
+        "tune",
+        help="autotune controller parameters: grid/random search over "
+        "thresholds, windows and inhibition through the cached runner, "
+        "scored on SLO violation + node-hours + reconfigurations",
+    )
+    tune.add_argument(
+        "--app-max", default="0.7,0.8", metavar="LIST",
+        help="app-tier grow thresholds (default 0.7,0.8)",
+    )
+    tune.add_argument(
+        "--app-min", default="0.38,0.45", metavar="LIST",
+        help="app-tier shrink thresholds (default 0.38,0.45)",
+    )
+    tune.add_argument(
+        "--db-max", default="0.65,0.75", metavar="LIST",
+        help="db-tier grow thresholds (default 0.65,0.75)",
+    )
+    tune.add_argument(
+        "--db-min", default="0.4,0.45", metavar="LIST",
+        help="db-tier shrink thresholds (default 0.4,0.45)",
+    )
+    tune.add_argument(
+        "--windows", default="1.0", metavar="LIST",
+        help="moving-average window scales (default 1.0)",
+    )
+    tune.add_argument(
+        "--inhibitions", default="30,60", metavar="LIST",
+        help="inhibition periods in seconds (default 30,60)",
+    )
+    tune.add_argument(
+        "--controllers", default="default", metavar="LIST",
+        help="comma-separated policy plugins to cross with the grid "
+        "(default default)",
+    )
+    tune.add_argument(
+        "--seeds", default="1,2,3", metavar="LIST",
+        help="comma-separated seeds per cell (default 1,2,3)",
+    )
+    tune.add_argument(
+        "--scale", type=float, default=0.15,
+        help="time compression of the ramp cells (default 0.15)",
+    )
+    tune.add_argument(
+        "--samples", type=int, default=0, metavar="N",
+        help="random-search subsample of the grid (0 = full grid)",
+    )
+    tune.add_argument(
+        "--chaos", default="", metavar="CAMPAIGN",
+        help="also score MTTR under this chaos preset (e.g. crash)",
+    )
+    tune.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="ranked cells to print (default 10)",
+    )
+    tune.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the winning cell as a tuned config "
+        "(e.g. configs/tuned_policy.json)",
+    )
+    tune.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the full ranked report as JSON",
+    )
+    tune.add_argument(
+        "--serial", action="store_true", help="run cells in-process"
+    )
+    tune.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+    tune.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool width for the cell fan-out",
     )
 
     cache = sub.add_parser(
@@ -1108,13 +1190,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         fluid=args.fluid,
         fluid_threshold=args.fluid_threshold,
         regions=parse_list(args.regions, int),
+        controllers=parse_list(args.controllers, str),
     )
     cells = spec.grid()
     print(
         f"Sweeping {len(cells)} cells: {len(spec.policies)} policies x "
         f"{len(spec.seeds)} seeds x {len(spec.scales)} scales x "
         f"{len(spec.cohorts)} cohorts x {len(spec.fleets)} fleets x "
-        f"{len(spec.regions)} region counts..."
+        f"{len(spec.regions)} region counts x "
+        f"{len(spec.controllers)} controllers..."
     )
     runner = ExperimentRunner(
         max_workers=args.workers,
@@ -1149,6 +1233,58 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.json:
         write_sweep_json(result, args.json)
         print(f"Sweep result written to {args.json}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.policy.tune import (
+        TuneSpec,
+        render_report,
+        run_tune,
+        write_tuned_config,
+    )
+    from repro.runner import ExperimentRunner, ResultCache
+
+    def parse_list(raw: str, conv):
+        return tuple(conv(item) for item in raw.split(",") if item.strip())
+
+    spec = TuneSpec(
+        app_max=parse_list(args.app_max, float),
+        app_min=parse_list(args.app_min, float),
+        db_max=parse_list(args.db_max, float),
+        db_min=parse_list(args.db_min, float),
+        window_scales=parse_list(args.windows, float),
+        inhibitions=parse_list(args.inhibitions, float),
+        controllers=parse_list(args.controllers, str),
+        seeds=parse_list(args.seeds, int),
+        scale=args.scale,
+        samples=args.samples,
+        chaos=args.chaos,
+    )
+    cells = spec.grid()
+    runs_per_cell = len(spec.seeds) * (2 if spec.chaos else 1)
+    print(
+        f"Tuning {len(cells)} cells x {len(spec.seeds)} seeds "
+        f"({len(cells) * runs_per_cell} runs)..."
+    )
+    runner = ExperimentRunner(
+        max_workers=args.workers,
+        cache=None if args.no_cache else ResultCache(),
+        parallel=not args.serial,
+    )
+    report = run_tune(spec, runner=runner)
+    print(render_report(report, top=args.top))
+    if args.out:
+        write_tuned_config(report, args.out)
+        print(f"\ntuned config written to {args.out}")
+    if args.report:
+        Path(args.report).write_text(
+            _json.dumps(report, indent=2, default=float) + "\n"
+        )
+        print(f"full report written to {args.report}")
     return 0
 
 
@@ -1404,6 +1540,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "market": cmd_market,
         "whatif": cmd_whatif,
         "sweep": cmd_sweep,
+        "tune": cmd_tune,
         "federate": cmd_federate,
         "cache": cmd_cache,
         "bench": cmd_bench,

@@ -27,7 +27,11 @@ from repro.jade.manager_adl import (
     management_factory_registry,
 )
 from repro.jade.planner import PlannerReactor
-from repro.jade.reactors import AdaptiveThresholdReactor, ThresholdReactor
+from repro.jade.reactors import (
+    AdaptiveThresholdReactor,
+    PolicyReactor,
+    ThresholdReactor,
+)
 from repro.jade.rolling import RollingRebind, rolling_rebind
 from repro.jade.self_optimization import SelfOptimizationManager
 from repro.jade.self_recovery import SelfRecoveryManager
@@ -58,6 +62,7 @@ __all__ = [
     "ManagedSystem",
     "Operation",
     "PlannerReactor",
+    "PolicyReactor",
     "RollingRebind",
     "SELF_OPTIMIZATION_ADL",
     "SelfOptimizationManager",

@@ -25,11 +25,20 @@ from repro.jade.actuators import TierManager
 from repro.jade.control_loop import InhibitionLock
 from repro.jade.sensors import LatencyReading, LatencySensor, UtilizationSampler
 from repro.metrics.collector import MetricsCollector
+from repro.obs.events import DecisionAction
+from repro.policy import LatencyBandPolicy, Policy, PolicyInputs
 from repro.simulation.kernel import SimKernel
 
 
 class SloReactor:
-    """Threshold logic on end-to-end latency with bottleneck localization."""
+    """Latency-band policy on end-to-end latency with bottleneck
+    localization.
+
+    The *judgment* (is the smoothed latency out of band?) is delegated to
+    a :class:`~repro.policy.LatencyBandPolicy` plugin; the localization —
+    *which* tier grows or shrinks — stays here, because latency is not
+    attributable to a single tier.
+    """
 
     def __init__(
         self,
@@ -41,16 +50,18 @@ class SloReactor:
         min_replicas: int = 1,
         warmup_samples: int = 5,
         fresh_samples_required: int = 30,
+        policy: Optional[Policy] = None,
     ) -> None:
-        if not 0.0 <= min_latency_s < max_latency_s:
-            raise ValueError("need 0 <= min < max latency")
         if not tiers:
             raise ValueError("need at least one tier to manage")
         self.kernel = kernel
         self.tiers = list(tiers)
         self.inhibition = inhibition
-        self.max_latency_s = max_latency_s
-        self.min_latency_s = min_latency_s
+        # LatencyBandPolicy validates the band (0 <= min < max).
+        self.policy = policy or LatencyBandPolicy(
+            max_latency_s=max_latency_s, min_latency_s=min_latency_s
+        )
+        self.policy_state = self.policy.initial_state()
         self.min_replicas = min_replicas
         self.warmup_samples = warmup_samples
         self.fresh_samples_required = fresh_samples_required
@@ -60,6 +71,14 @@ class SloReactor:
         self.grows_triggered = 0
         self.shrinks_triggered = 0
         self.decisions_suppressed = 0
+
+    @property
+    def max_latency_s(self) -> float:
+        return self.policy.max_latency_s
+
+    @property
+    def min_latency_s(self) -> float:
+        return self.policy.min_latency_s
 
     # ------------------------------------------------------------------
     def on_reading(self, reading: LatencyReading) -> None:
@@ -72,9 +91,20 @@ class SloReactor:
             and self._samples_seen > self.fresh_samples_required
         ):
             return
-        if reading.smoothed > self.max_latency_s:
+        inputs = PolicyInputs(
+            t=reading.t,
+            smoothed=reading.smoothed,
+            raw=reading.raw,
+            node_count=reading.sample_count,
+            replicas=sum(t.replica_count for t in self.tiers),
+            min_replicas=self.min_replicas,
+            max_replicas=None,
+            tier="slo",
+        )
+        decision = self.policy.decide(inputs, self.policy_state)
+        if decision.action == DecisionAction.GROW:
             self._grow_bottleneck()
-        elif reading.smoothed < self.min_latency_s:
+        elif decision.action == DecisionAction.SHRINK:
             self._shrink_idlest()
 
     # ------------------------------------------------------------------

@@ -8,14 +8,31 @@ The shared :class:`~repro.jade.control_loop.InhibitionLock` implements "in
 order to prevent oscillations, a reconfiguration started by one of the
 control loops inhibits any new reconfiguration for a short period (one
 minute)".
+
+Since the policy-plugin refactor the *judgment* lives in
+:mod:`repro.policy` plugins; the generic :class:`PolicyReactor` here owns
+only the mechanics every loop shares — warm-up, NaN handling, the
+fresh-evidence gate, the inhibition lock, actuation, tracing, counters.
+:class:`ThresholdReactor` / :class:`AdaptiveThresholdReactor` are the
+paper's reactors re-expressed as thin shells over the ``threshold`` /
+``adaptive-threshold`` plugins, byte-identical to their pre-refactor
+selves (enforced by ``tests/test_policy.py``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import TYPE_CHECKING, Optional
 
 from repro.jade.sensors import CpuReading
-from repro.obs.events import Decision, DecisionAction, DecisionReason
+from repro.obs.events import Decision, DecisionAction, DecisionReason, PolicyDecided
+from repro.policy import (
+    AdaptiveThresholdPolicy,
+    Policy,
+    PolicyDecision,
+    PolicyInputs,
+    ThresholdPolicy,
+)
 from repro.simulation.kernel import SimKernel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -23,12 +40,15 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.jade.control_loop import InhibitionLock
 
 
-class ThresholdReactor:
-    """The paper's threshold trigger for one tier.
+class PolicyReactor:
+    """Generic analysis/decision component for one tier.
 
-    * smoothed CPU > ``max_threshold`` → grow the tier by one replica;
-    * smoothed CPU < ``min_threshold`` → shrink by one (never below
-      ``min_replicas``).
+    Feeds every sensor reading through a :class:`repro.policy.Policy`
+    plugin and executes its verdict:
+
+    * ``grow``   → one replica added (never above ``max_replicas``);
+    * ``shrink`` → one replica removed (never below ``min_replicas``);
+    * ``hold``   → nothing.
 
     A decision is suppressed while the shared inhibition lock is held or
     while the actuator is still executing a previous reconfiguration.
@@ -39,26 +59,21 @@ class ThresholdReactor:
         kernel: SimKernel,
         tier: "TierManager",
         inhibition: "InhibitionLock",
-        max_threshold: float = 0.80,
-        min_threshold: float = 0.35,
+        policy: Policy,
         min_replicas: int = 1,
         max_replicas: Optional[int] = None,
         warmup_samples: int = 5,
         fresh_samples_required: int = 30,
         name: str = "reactor",
     ) -> None:
-        if not 0.0 <= min_threshold < max_threshold <= 1.0:
-            raise ValueError(
-                f"need 0 <= min < max <= 1, got ({min_threshold}, {max_threshold})"
-            )
         if min_replicas < 1:
             raise ValueError("min_replicas must be >= 1")
         self.kernel = kernel
         self.tier = tier
         self.inhibition = inhibition
         self.name = name
-        self.max_threshold = max_threshold
-        self.min_threshold = min_threshold
+        self.policy = policy
+        self.policy_state = policy.initial_state()
         self.min_replicas = min_replicas
         self.max_replicas = max_replicas
         self.warmup_samples = warmup_samples
@@ -85,8 +100,8 @@ class ThresholdReactor:
             return
         if reading.smoothed != reading.smoothed:  # NaN
             # An empty tier or a freshly-reset moving average yields NaN,
-            # which would silently fail both threshold comparisons; make
-            # the non-decision explicit instead.
+            # which no policy can judge; make the non-decision explicit
+            # instead of handing plugins a poisoned value.
             self.no_data_decisions += 1
             self._emit(
                 DecisionAction.NONE, False, DecisionReason.NO_DATA, reading
@@ -97,12 +112,46 @@ class ThresholdReactor:
             and self.probe.window.sample_count < self.fresh_samples_required
         ):
             return
-        if reading.smoothed > self.max_threshold:
-            self._try_grow(reading)
-        elif reading.smoothed < self.min_threshold:
-            self._try_shrink(reading)
+        inputs = PolicyInputs(
+            t=reading.t,
+            smoothed=reading.smoothed,
+            raw=reading.raw,
+            node_count=reading.node_count,
+            replicas=self.tier.replica_count,
+            min_replicas=self.min_replicas,
+            max_replicas=self.max_replicas,
+            tier=self.name,
+        )
+        decision = self.policy.decide(inputs, self.policy_state)
+        if decision.is_hold:
+            return
+        # The policy verdict is recorded as a sibling of the Decision that
+        # follows (not its causal parent): the established causal chain
+        # reconfig-completed -> reconfig-started -> decision stays intact
+        # for every existing trace consumer.
+        self._emit_policy(decision, inputs)
+        if decision.action == DecisionAction.GROW:
+            self._try_grow(reading, decision)
+        elif decision.action == DecisionAction.SHRINK:
+            self._try_shrink(reading, decision)
 
     # ------------------------------------------------------------------
+    def _emit_policy(
+        self, decision: PolicyDecision, inputs: PolicyInputs
+    ) -> Optional[int]:
+        if self.tracer is None:
+            return None
+        return self.tracer.emit(
+            PolicyDecided(
+                self.kernel.now,
+                source=self.name,
+                policy=self.policy.name,
+                action=decision.action,
+                reason=decision.reason,
+                inputs_digest=inputs.digest(),
+            )
+        )
+
     def _emit(
         self,
         action: str,
@@ -126,16 +175,14 @@ class ThresholdReactor:
             )
         )
 
-    def _actuate(self, operation, action: str, reading: CpuReading) -> bool:
+    def _actuate(
+        self, operation, action: str, reason: str, reading: CpuReading
+    ) -> bool:
         """Emit the executed decision, then actuate under its causal scope
         (the actuator's ReconfigStarted/NodeAllocated events link back to
         the decision).  A rejected actuation is recorded as a follow-up
         suppressed decision caused by the retracted one."""
-        seq = self._emit(action, True, (
-            DecisionReason.ABOVE_MAX
-            if action == DecisionAction.GROW
-            else DecisionReason.BELOW_MIN
-        ), reading)
+        seq = self._emit(action, True, reason, reading)
         if seq is None:
             return operation()
         self.tracer.push_cause(seq)
@@ -149,7 +196,7 @@ class ThresholdReactor:
             )
         return ok
 
-    def _try_grow(self, reading: CpuReading) -> None:
+    def _try_grow(self, reading: CpuReading, decision: PolicyDecision) -> None:
         if self.max_replicas is not None and self.tier.replica_count >= self.max_replicas:
             self.decisions_suppressed += 1
             self._emit(
@@ -162,12 +209,17 @@ class ThresholdReactor:
                 DecisionAction.GROW, False, DecisionReason.INHIBITED, reading
             )
             return
-        if not self._actuate(self.tier.grow, DecisionAction.GROW, reading):
+        if not self._actuate(
+            self.tier.grow, DecisionAction.GROW, decision.reason, reading
+        ):
             self.decisions_suppressed += 1
             return
         self.grows_triggered += 1
+        self.policy.on_actuated(
+            DecisionAction.GROW, self.kernel.now, self.policy_state
+        )
 
-    def _try_shrink(self, reading: CpuReading) -> None:
+    def _try_shrink(self, reading: CpuReading, decision: PolicyDecision) -> None:
         if self.tier.replica_count <= self.min_replicas:
             # Symmetric with the at-cap path above: a shrink suppressed at
             # the replica floor counts (and is traced) too.
@@ -182,10 +234,76 @@ class ThresholdReactor:
                 DecisionAction.SHRINK, False, DecisionReason.INHIBITED, reading
             )
             return
-        if not self._actuate(self.tier.shrink, DecisionAction.SHRINK, reading):
+        if not self._actuate(
+            self.tier.shrink, DecisionAction.SHRINK, decision.reason, reading
+        ):
             self.decisions_suppressed += 1
             return
         self.shrinks_triggered += 1
+        self.policy.on_actuated(
+            DecisionAction.SHRINK, self.kernel.now, self.policy_state
+        )
+
+
+class ThresholdReactor(PolicyReactor):
+    """The paper's threshold trigger for one tier.
+
+    * smoothed CPU > ``max_threshold`` → grow the tier by one replica;
+    * smoothed CPU < ``min_threshold`` → shrink by one (never below
+      ``min_replicas``).
+
+    Kept as a constructor-compatible shell over the ``threshold`` policy
+    plugin: every pre-refactor call site (three-tier assembly, ADL
+    attributes, tests) builds it exactly as before.
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        tier: "TierManager",
+        inhibition: "InhibitionLock",
+        max_threshold: float = 0.80,
+        min_threshold: float = 0.35,
+        min_replicas: int = 1,
+        max_replicas: Optional[int] = None,
+        warmup_samples: int = 5,
+        fresh_samples_required: int = 30,
+        name: str = "reactor",
+        policy: Optional[Policy] = None,
+    ) -> None:
+        if policy is None:
+            policy = ThresholdPolicy(
+                max_threshold=max_threshold, min_threshold=min_threshold
+            )
+        super().__init__(
+            kernel,
+            tier,
+            inhibition,
+            policy,
+            min_replicas=min_replicas,
+            max_replicas=max_replicas,
+            warmup_samples=warmup_samples,
+            fresh_samples_required=fresh_samples_required,
+            name=name,
+        )
+
+    # The thresholds stay reachable as attributes (benchmarks and the
+    # proactive manager read them; a few tests adjust them mid-run).
+    @property
+    def max_threshold(self) -> float:
+        return self.policy.max_threshold
+
+    @max_threshold.setter
+    def max_threshold(self, value: float) -> None:
+        self.policy = dataclasses.replace(self.policy, max_threshold=value)
+
+    @property
+    def min_threshold(self) -> float:
+        return self.policy.min_threshold
+
+    @min_threshold.setter
+    def min_threshold(self, value: float) -> None:
+        self.policy = dataclasses.replace(self.policy, min_threshold=value)
 
 
 class AdaptiveThresholdReactor(ThresholdReactor):
@@ -194,8 +312,10 @@ class AdaptiveThresholdReactor(ThresholdReactor):
 
     Detects oscillation — a grow and a shrink within ``oscillation_window_s``
     of each other — and widens the dead band by lowering ``min_threshold``
-    (down to ``min_floor``).  When no oscillation occurs for
-    ``relax_after_s``, the band narrows back towards its initial width.
+    (down to ``min_floor``, itself clamped into ``[0, min_threshold]`` so a
+    large ``widen_step`` can never push the live threshold below zero).
+    When no oscillation occurs for ``relax_after_s``, the band narrows back
+    towards its initial width.
     """
 
     def __init__(
@@ -205,55 +325,53 @@ class AdaptiveThresholdReactor(ThresholdReactor):
         widen_step: float = 0.05,
         relax_after_s: float = 900.0,
         min_floor: float = 0.10,
+        max_threshold: float = 0.80,
+        min_threshold: float = 0.35,
         **kwargs,
     ) -> None:
-        super().__init__(*args, **kwargs)
-        self.oscillation_window_s = oscillation_window_s
-        self.widen_step = widen_step
-        self.relax_after_s = relax_after_s
-        self.min_floor = min_floor
-        self._initial_min = self.min_threshold
-        self._last_grow_t: Optional[float] = None
-        self._last_shrink_t: Optional[float] = None
-        self._last_adapt_t = 0.0
-        self.adaptations = 0
+        policy = AdaptiveThresholdPolicy(
+            max_threshold=max_threshold,
+            min_threshold=min_threshold,
+            oscillation_window_s=oscillation_window_s,
+            widen_step=widen_step,
+            relax_after_s=relax_after_s,
+            min_floor=min_floor,
+        )
+        super().__init__(*args, policy=policy, **kwargs)
 
-    def _try_grow(self, reading: CpuReading) -> None:
-        before = self.grows_triggered
-        super()._try_grow(reading)
-        if self.grows_triggered > before:
-            self._last_grow_t = self.kernel.now
-            self._maybe_adapt()
+    @property
+    def oscillation_window_s(self) -> float:
+        return self.policy.oscillation_window_s
 
-    def _try_shrink(self, reading: CpuReading) -> None:
-        before = self.shrinks_triggered
-        super()._try_shrink(reading)
-        if self.shrinks_triggered > before:
-            self._last_shrink_t = self.kernel.now
-            self._maybe_adapt()
+    @property
+    def widen_step(self) -> float:
+        return self.policy.widen_step
 
-    def _maybe_adapt(self) -> None:
-        now = self.kernel.now
-        if (
-            self._last_grow_t is not None
-            and self._last_shrink_t is not None
-            and abs(self._last_grow_t - self._last_shrink_t) <= self.oscillation_window_s
-        ):
-            # Oscillating: widen the dead band.
-            self.min_threshold = max(
-                self.min_floor, self.min_threshold - self.widen_step
-            )
-            self._last_adapt_t = now
-            self.adaptations += 1
-            # Consume the pair so one oscillation adapts once.
-            self._last_grow_t = None
-            self._last_shrink_t = None
-        elif (
-            now - self._last_adapt_t > self.relax_after_s
-            and self.min_threshold < self._initial_min
-        ):
-            self.min_threshold = min(
-                self._initial_min, self.min_threshold + self.widen_step / 2.0
-            )
-            self._last_adapt_t = now
-            self.adaptations += 1
+    @property
+    def relax_after_s(self) -> float:
+        return self.policy.relax_after_s
+
+    @property
+    def min_floor(self) -> float:
+        return self.policy.min_floor
+
+    @property
+    def adaptations(self) -> int:
+        return self.policy_state.adaptations
+
+    # The *live* (adapted) threshold is runtime state, not a parameter.
+    @property
+    def min_threshold(self) -> float:
+        return self.policy_state.min_threshold
+
+    @min_threshold.setter
+    def min_threshold(self, value: float) -> None:
+        self.policy_state.min_threshold = value
+
+    @property
+    def max_threshold(self) -> float:
+        return self.policy.max_threshold
+
+    @max_threshold.setter
+    def max_threshold(self, value: float) -> None:
+        self.policy = dataclasses.replace(self.policy, max_threshold=value)

@@ -16,9 +16,15 @@ from typing import Optional
 from repro.fractal.component import Component
 from repro.jade.actuators import TierManager
 from repro.jade.control_loop import ControlLoop, InhibitionLock
-from repro.jade.reactors import AdaptiveThresholdReactor, ThresholdReactor
+from repro.jade.reactors import (
+    AdaptiveThresholdReactor,
+    PolicyReactor,
+    ThresholdReactor,
+)
 from repro.jade.sensors import CpuProbe
+from repro.policy import PolicyConfig
 from repro.simulation.kernel import SimKernel
+from repro.workload.calibration import DEFAULT_CALIBRATION, Calibration
 
 
 @dataclass
@@ -36,6 +42,10 @@ class LoopConfig:
     planner: bool = False           # use the model-based PlannerReactor
     planner_target: float = 0.60    # its target utilization
     planner_hysteresis: float = 0.12
+    #: named policy plugin with parameter overrides (``repro.policy``);
+    #: None = the legacy flags above pick the reactor.  Takes precedence
+    #: over ``adaptive``/``planner`` when set.
+    policy: Optional[PolicyConfig] = None
 
 
 # §5.2: "the average CPU usage is computed over the last 60 seconds for the
@@ -58,9 +68,14 @@ class SelfOptimizationManager:
         inhibition_s: float = 60.0,
         app_config: Optional[LoopConfig] = None,
         db_config: Optional[LoopConfig] = None,
+        calibration: Optional[Calibration] = None,
     ) -> None:
         self.kernel = kernel
         self.inhibition = InhibitionLock(kernel, inhibition_s)
+        #: demand mix the model-based policies default their parameters
+        #: from (the queue-model plugin solves its utilization target
+        #: from the tier's calibrated service demand)
+        self.calibration = calibration or DEFAULT_CALIBRATION
         self.loops: dict[str, ControlLoop] = {}
         self.composite = Component("self-optimization-manager", composite=True)
         self._build_loop("app", app_tier, app_config or APP_LOOP_DEFAULTS)
@@ -79,7 +94,9 @@ class SelfOptimizationManager:
         # The post-reconfiguration fresh-evidence gate can never exceed the
         # number of samples the window can hold.
         fresh = min(30, max(1, int(cfg.window_s / cfg.period_s)))
-        if cfg.planner:
+        if cfg.policy is not None:
+            reactor = self._policy_reactor(label, tier, cfg, fresh)
+        elif cfg.planner:
             from repro.jade.planner import PlannerReactor
 
             reactor = PlannerReactor(
@@ -106,6 +123,63 @@ class SelfOptimizationManager:
         loop = ControlLoop.build(self.kernel, f"resize-{label}", probe, reactor, tier)
         self.loops[label] = loop
         self.composite.content_controller.add(loop.composite)
+
+    def _policy_reactor(
+        self, label: str, tier: TierManager, cfg: LoopConfig, fresh: int
+    ):
+        """Build the reactor for an explicit :class:`PolicyConfig`.
+
+        The named threshold policies keep the dedicated reactor shells
+        (their thresholds default to the loop's own band); every other
+        plugin rides the generic :class:`PolicyReactor`, with model
+        parameters defaulted from this loop's tier and the calibration.
+        """
+        pc = cfg.policy
+        overrides = pc.as_dict()
+        common = dict(
+            min_replicas=cfg.min_replicas,
+            max_replicas=cfg.max_replicas,
+            fresh_samples_required=fresh,
+        )
+        if pc.name == "threshold":
+            return ThresholdReactor(
+                self.kernel,
+                tier,
+                self.inhibition,
+                max_threshold=overrides.pop("max_threshold", cfg.max_threshold),
+                min_threshold=overrides.pop("min_threshold", cfg.min_threshold),
+                **common,
+                **overrides,
+            )
+        if pc.name == "adaptive-threshold":
+            return AdaptiveThresholdReactor(
+                self.kernel,
+                tier,
+                self.inhibition,
+                max_threshold=overrides.pop("max_threshold", cfg.max_threshold),
+                min_threshold=overrides.pop("min_threshold", cfg.min_threshold),
+                **common,
+                **overrides,
+            )
+        defaults: dict = {}
+        if pc.name == "queue-model":
+            # Per-tier service demand from the calibrated mix: the app
+            # tier's servlet work, the DB tier's read/write blend.
+            cal = self.calibration
+            defaults["service_demand_s"] = (
+                cal.app_demand_total() if label == "app"
+                else cal.effective_db_demand()
+            )
+        elif pc.name == "forecast":
+            defaults["max_threshold"] = cfg.max_threshold
+            defaults["min_threshold"] = cfg.min_threshold
+        return PolicyReactor(
+            self.kernel,
+            tier,
+            self.inhibition,
+            pc.build(**defaults),
+            **common,
+        )
 
     # ------------------------------------------------------------------
     def start(self) -> None:

@@ -339,6 +339,7 @@ class ManagedSystem:
                     inhibition_s=cfg.inhibition_s,
                     app_config=cfg.app_loop,
                     db_config=cfg.db_loop,
+                    calibration=cal,
                 )
             # Management components deployed on every node (Table 1's
             # memory overhead).

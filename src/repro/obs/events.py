@@ -103,6 +103,26 @@ class Decision(TraceEvent):
 
 
 @dataclass(frozen=True)
+class PolicyDecided(TraceEvent):
+    """A policy plugin ruled on one set of control-loop inputs
+    (``repro.policy``).  Emitted for every non-hold verdict before the
+    mechanics (inhibition, caps, the actuator) weigh in; the
+    :class:`Decision` that follows records what actually happened to the
+    verdict.  ``inputs_digest`` is a
+    short fingerprint of the exact :class:`~repro.policy.PolicyInputs`
+    snapshot, so identical situations are identifiable across runs
+    without logging every field."""
+
+    kind: ClassVar[str] = "policy-decided"
+
+    source: str        # reactor/loop name (e.g. "resize-db")
+    policy: str        # policy registry name (e.g. "queue-model")
+    action: str        # DecisionAction
+    reason: str        # DecisionReason
+    inputs_digest: str
+
+
+@dataclass(frozen=True)
 class InhibitionAcquired(TraceEvent):
     kind: ClassVar[str] = "inhibition-acquired"
 
@@ -360,6 +380,7 @@ EVENT_KINDS = {
     cls.kind: cls
     for cls in (
         ProbeReading,
+        PolicyDecided,
         Decision,
         InhibitionAcquired,
         InhibitionRejected,

@@ -34,6 +34,12 @@ def _describe(record: dict) -> str:
             f"{record['source']}: {record['action']} ({record['reason']})"
             f"{state} cpu={record['smoothed']:.3f} replicas={record['replicas']}"
         )
+    if kind == "policy-decided":
+        return (
+            f"{record['source']} policy[{record['policy']}]: "
+            f"{record['action']} ({record['reason']}) "
+            f"inputs#{record['inputs_digest']}"
+        )
     if kind == "inhibition-acquired":
         return f"{record['by']} holds until t={record['until']:.1f}s"
     if kind == "inhibition-rejected":

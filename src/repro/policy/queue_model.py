@@ -1,0 +1,103 @@
+"""Queue-model sizing policy (M/G/1-PS).
+
+Each replica is a processor-sharing server (the testbed's PsCpu), so a
+request with service demand ``d`` at utilization ``rho`` sees a mean
+response time
+
+    R = d / (1 - rho)            (M/G/1-PS)
+
+Solving ``R <= R_slo`` for the utilization gives the *highest* load a
+replica may run at while still meeting the per-tier latency budget:
+
+    rho* = 1 - d / R_slo
+
+Unlike :class:`~repro.jade.planner.PlannerReactor` — whose fixed
+``target_utilization`` is one more hand-tuned constant — the operating
+point here is *derived* from the calibrated demand mix
+(:mod:`repro.workload.calibration`) and the SLO: the app tier's ``d`` is
+``app_demand_total()``, the DB tier's the read/write blend of
+``effective_db_demand()``.  The tier is then sized directly: with ``k``
+replicas at measured utilization ``U`` the offered demand is ``U * k``
+replica-equivalents, so the policy wants
+
+    k* = ceil(U * k / rho*)
+
+and grows towards it whenever ``k* > k``.  Shrinking uses an asymmetric
+guard: only when utilization has fallen below
+``rho* * (1 - shrink_margin)`` *and* the model agrees a smaller tier
+still fits — releasing capacity is cheap to defer and expensive to
+regret (the paper's own reasoning for the inhibition period).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.obs.events import DecisionAction, DecisionReason
+from repro.policy.api import (
+    HOLD,
+    Policy,
+    PolicyDecision,
+    PolicyInputs,
+    register,
+)
+
+
+@register
+@dataclass(frozen=True)
+class QueueModelPolicy(Policy):
+    """Size the tier so M/G/1-PS response time meets the tier budget."""
+
+    name: ClassVar[str] = "queue-model"
+
+    #: per-tier response-time budget the utilization target is solved from
+    slo_latency_s: float = 0.25
+    #: mean CPU demand of one request on this tier (callers default it
+    #: from the calibration; 0.028 s is the calibrated DB read/write mix)
+    service_demand_s: float = 0.028
+    #: clamp band for the solved target (a demand close to the SLO would
+    #: otherwise drive rho* to 0; a tiny demand to ~1.0, i.e. no headroom)
+    rho_floor: float = 0.05
+    rho_cap: float = 0.90
+    #: shrink only when utilization is this fraction *below* the target
+    shrink_margin: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.slo_latency_s <= 0 or self.service_demand_s <= 0:
+            raise ValueError("need positive SLO and service demand")
+        if not 0.0 < self.rho_floor <= self.rho_cap < 1.0:
+            raise ValueError("need 0 < rho_floor <= rho_cap < 1")
+        if not 0.0 <= self.shrink_margin < 1.0:
+            raise ValueError("need 0 <= shrink_margin < 1")
+
+    @property
+    def rho_target(self) -> float:
+        """The solved operating point: ``1 - d / R_slo``, clamped."""
+        rho = 1.0 - self.service_demand_s / self.slo_latency_s
+        return min(self.rho_cap, max(self.rho_floor, rho))
+
+    def desired_replicas(self, utilization: float, replicas: int) -> int:
+        """``ceil(U * k / rho*)`` — the epsilon absorbs float noise so an
+        exactly-at-target tier is not rounded up."""
+        demand = utilization * replicas
+        return max(1, math.ceil(demand / self.rho_target - 1e-9))
+
+    def decide(self, inputs: PolicyInputs, state) -> PolicyDecision:
+        target = self.desired_replicas(inputs.smoothed, inputs.replicas)
+        target = max(target, inputs.min_replicas)
+        if inputs.max_replicas is not None:
+            target = min(target, inputs.max_replicas)
+        if target > inputs.replicas:
+            return PolicyDecision(
+                DecisionAction.GROW, DecisionReason.ABOVE_MAX, target=target
+            )
+        if (
+            target < inputs.replicas
+            and inputs.smoothed < self.rho_target * (1.0 - self.shrink_margin)
+        ):
+            return PolicyDecision(
+                DecisionAction.SHRINK, DecisionReason.BELOW_MIN, target=target
+            )
+        return HOLD

@@ -423,6 +423,17 @@ def _section_fluid(ctx: dict) -> dict:
     )
 
 
+def _section_policy(ctx: dict) -> dict:
+    from repro.policy.bench import run_policy_section
+
+    return run_policy_section(
+        seeds=ctx["seeds"],
+        scale=ctx["scale"],
+        parallel=ctx["parallel"],
+        use_cache=ctx["use_cache"],
+    )
+
+
 def _section_federation(ctx: dict) -> dict:
     from repro.federation.bench import run_federation_section
 
@@ -446,6 +457,7 @@ SECTIONS = {
     "deploy": _section_deploy,
     "market": _section_market,
     "fluid": _section_fluid,
+    "policy": _section_policy,
     "federation": _section_federation,
 }
 

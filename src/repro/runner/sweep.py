@@ -19,6 +19,14 @@ The optional **fleet** axis crosses every cell with a node-market policy
 (``--fleet on-demand,spot-heavy``): ``uniform`` is the paper's flat pool;
 any other value names a :data:`repro.market.scenario.PRESETS` entry and
 runs the cell on a heterogeneous fleet, adding a ``fleet_cost`` column.
+
+The optional **controller** axis crosses every cell with a named
+control-loop policy plugin (``--controllers
+"default,queue-model,forecast:lead_s=90"``): ``default`` keeps each
+cell's legacy reactor selection, any other value is a
+:meth:`repro.policy.PolicyConfig.parse` string installed on both tier
+loops.  Like the fleet/fluid axes, the label only grows a suffix off the
+default, so pre-existing sweep labels (and cache keys) survive.
 """
 
 from __future__ import annotations
@@ -69,6 +77,7 @@ class SweepPoint:
     fluid: bool = False
     fluid_threshold: int = 0
     regions: int = 1
+    controller: str = "default"
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -89,6 +98,24 @@ class SweepPoint:
                     f"unknown fleet {self.fleet!r} (choose 'uniform' or one "
                     f"of {tuple(sorted(PRESETS))})"
                 )
+        if self.controller != "default":
+            if self.regions > 1:
+                raise ValueError(
+                    "federated cells support the default controller only"
+                )
+            if self.policy == "static":
+                raise ValueError(
+                    "controller policies need managed loops "
+                    "(policy 'managed' or 'proactive')"
+                )
+            from repro.policy import POLICIES as PLUGINS, PolicyConfig
+
+            name = PolicyConfig.parse(self.controller).name
+            if name not in PLUGINS:
+                raise ValueError(
+                    f"unknown controller policy {name!r} "
+                    f"(have: {sorted(PLUGINS)})"
+                )
 
     @property
     def label(self) -> str:
@@ -99,6 +126,8 @@ class SweepPoint:
             suffix += f"-fluid{self.fluid_threshold}"
         if self.regions > 1:
             suffix += f"-r{self.regions}"
+        if self.controller != "default":
+            suffix += f"-p{self.controller}"
         return (
             f"{self.policy}-s{self.seed}-x{self.scale:g}-c{self.cohort}"
             f"{suffix}"
@@ -132,7 +161,7 @@ class SweepPoint:
 
             market = PRESETS[self.fleet]()
             recovery = True  # spot reclaims need the repair path armed
-        return ExperimentConfig(
+        cfg = ExperimentConfig(
             profile=RampProfile(
                 base=80 * self.cohort,
                 peak=self.peak * self.cohort,
@@ -151,6 +180,15 @@ class SweepPoint:
             fluid=self.fluid,
             fluid_threshold=self.fluid_threshold,
         )
+        if self.controller != "default":
+            from dataclasses import replace
+
+            from repro.policy import PolicyConfig
+
+            pc = PolicyConfig.parse(self.controller)
+            cfg.app_loop = replace(cfg.app_loop, policy=pc)
+            cfg.db_loop = replace(cfg.db_loop, policy=pc)
+        return cfg
 
 
 @dataclass(frozen=True)
@@ -167,12 +205,13 @@ class SweepSpec:
     fluid: bool = False
     fluid_threshold: int = 0
     regions: tuple[int, ...] = (1,)
+    controllers: tuple[str, ...] = ("default",)
 
     def grid(self) -> list[SweepPoint]:
         return [
             SweepPoint(
                 policy, seed, scale, cohort, self.peak, fleet,
-                self.fluid, self.fluid_threshold, n_regions,
+                self.fluid, self.fluid_threshold, n_regions, controller,
             )
             for policy in self.policies
             for seed in self.seeds
@@ -180,6 +219,7 @@ class SweepSpec:
             for cohort in self.cohorts
             for fleet in self.fleets
             for n_regions in self.regions
+            for controller in self.controllers
         ]
 
     def to_record(self) -> dict:
@@ -193,6 +233,7 @@ class SweepSpec:
             "fluid": self.fluid,
             "fluid_threshold": self.fluid_threshold,
             "regions": list(self.regions),
+            "controllers": list(self.controllers),
             "cells": len(self.grid()),
         }
 
@@ -248,6 +289,7 @@ def run_sweep(
             "peak": point.peak,
             "fleet": point.fleet,
             "regions": point.regions,
+            "controller": point.controller,
         }
         summary = run.summary()
         for name in SUMMARY_FIELDS:
